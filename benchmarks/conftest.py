@@ -1,0 +1,49 @@
+"""Benchmark harness support.
+
+Each benchmark regenerates one of the paper's tables or figures.  They are
+macro-benchmarks — whole fault-injection campaigns, not microseconds — so
+every one runs exactly once (``benchmark.pedantic(rounds=1)``); the
+measured value is the wall-clock cost of reproducing that experiment.
+
+Rendered tables are written to ``benchmarks/results/`` so the regenerated
+rows can be diffed against the paper side by side, and key measured numbers
+are attached to the benchmark's ``extra_info``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_FULL=1`` to use paper-scale parameters (500 clients, full
+durations) instead of the laptop-friendly defaults.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale():
+    """Whether to run paper-scale parameters."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+@pytest.fixture
+def record_result():
+    """Write a rendered experiment result for later inspection."""
+
+    def _record(name, result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(result.render() + "\n", encoding="utf-8")
+        return path
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a macro-benchmark exactly once and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,75 @@
+"""Ablation: microrebooting without recovery-group expansion.
+
+DESIGN.md calls out group expansion as a load-bearing design choice (§3.2).
+This ablation runs the Figure 1 fault (corrupted metadata inside the
+EntityGroup) twice: with the proper coordinator, and with one that recycles
+only the single diagnosed component.  Without expansion, the peers' cross-
+container references go stale and the "recovery" makes things worse until
+a full group recycle happens.
+"""
+
+from repro.core.microreboot import MicrorebootCoordinator
+from repro.experiments.common import ExperimentResult, SingleNodeRig
+from repro.faults.corruption import CorruptionMode
+
+from benchmarks.conftest import run_once
+
+
+def run_variant(honor_groups, seed=0, n_clients=150):
+    rig = SingleNodeRig(seed=seed, n_clients=n_clients,
+                        with_recovery_manager=False)
+    rig.system.coordinator = MicrorebootCoordinator(
+        rig.system.server, "ebid", honor_groups=honor_groups
+    )
+    rig.start(warmup=60.0)
+    rig.injector.corrupt_tx_method_map("Item", "record_bid", CorruptionMode.WRONG)
+    rig.run_for(10.0)
+    before = rig.metrics.failed_requests
+    # The (correctly diagnosed) recovery: microreboot Item.
+    rig.kernel.run_until_triggered(
+        rig.kernel.process(rig.system.coordinator.microreboot(["Item"]))
+    )
+    rig.run_for(120.0)
+    return {
+        "honor_groups": honor_groups,
+        "failed_after_recovery": rig.metrics.failed_requests - before,
+        "cured": rig.failures_in_last(30.0) <= 1,
+    }
+
+
+def run_ablation():
+    result = ExperimentResult(
+        name="Ablation: recovery-group expansion",
+        paper_reference="§3.2 design choice (DESIGN.md §4.3)",
+        headers=("group expansion", "failed reqs after recovery", "cured"),
+    )
+    outcomes = {}
+    for honor in (True, False):
+        outcome = run_variant(honor)
+        outcomes[honor] = outcome
+        result.rows.append(
+            (
+                "yes (paper design)" if honor else "no (ablated)",
+                outcome["failed_after_recovery"],
+                "yes" if outcome["cured"] else "NO",
+            )
+        )
+    return result, outcomes
+
+
+def test_ablation_recovery_groups(benchmark, record_result):
+    result, outcomes = run_once(benchmark, run_ablation)
+    record_result("ablation_recovery_groups", result)
+    print()
+    print(result.render())
+
+    assert outcomes[True]["cured"]
+    assert not outcomes[False]["cured"]  # stale peers keep failing
+    assert (
+        outcomes[False]["failed_after_recovery"]
+        > 5 * max(outcomes[True]["failed_after_recovery"], 1)
+    )
+    benchmark.extra_info["failed_after_recovery"] = {
+        "with_groups": outcomes[True]["failed_after_recovery"],
+        "ablated": outcomes[False]["failed_after_recovery"],
+    }

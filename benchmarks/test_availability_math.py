@@ -1,0 +1,21 @@
+"""Bench: the §5.3/§6.1 six-nines availability arithmetic."""
+
+from repro.experiments import availability
+
+from benchmarks.conftest import run_once
+
+
+def test_availability_math(benchmark, record_result):
+    result, details = run_once(benchmark, availability.run)
+    record_result("availability_math", result)
+    print()
+    print(result.render())
+
+    allowed = {row[0]: row[2] for row in result.rows}
+    # The paper's arithmetic: 23 / 329 / 683 recoveries per year.
+    assert allowed["JVM restart + failover"] == 23
+    assert abs(allowed["microreboot + failover"] - 329) <= 1
+    assert allowed["microreboot, no failover"] == 683
+    # Six nines with µRBs means failing almost twice a day (§6.1).
+    assert allowed["microreboot, no failover"] / 365 > 1.8
+    benchmark.extra_info["allowed_per_year"] = allowed

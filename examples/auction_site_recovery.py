@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Automated recovery of a loaded auction site (the Figure 1 story).
+
+A population of emulated auction users hammers a single eBid node while
+three different faults strike, ten (simulated) minutes apart:
+
+  1. the transaction method map inside the EntityGroup is corrupted;
+  2. RegisterNewUser's JNDI entry is nulled;
+  3. BrowseCategories starts throwing exceptions.
+
+The client-side detectors report failures to the recovery manager, which
+diagnoses by URL call-path scoring and recovers with the recursive policy —
+microreboots first.  The timeline printed at the end shows every recovery
+decision and what it cost in failed requests.
+
+Run with::
+
+    python examples/auction_site_recovery.py
+"""
+
+from repro.experiments.common import SingleNodeRig
+from repro.faults.corruption import CorruptionMode
+
+FAULTS = [
+    (120.0, "corrupt Item.record_bid's transaction attribute (EntityGroup)",
+     lambda rig: rig.injector.corrupt_tx_method_map(
+         "Item", "record_bid", CorruptionMode.WRONG)),
+    (240.0, "null out RegisterNewUser's JNDI entry",
+     lambda rig: rig.injector.corrupt_jndi(
+         "RegisterNewUser", CorruptionMode.NULL)),
+    (360.0, "inject a transient exception into BrowseCategories",
+     lambda rig: rig.injector.inject_transient_exception("BrowseCategories")),
+]
+
+
+def main():
+    print("Building a 150-client single-node rig with automated recovery...")
+    rig = SingleNodeRig(seed=7, n_clients=150)
+    rig.start()
+
+    def fault_schedule():
+        last = 0.0
+        for at, description, inject in FAULTS:
+            yield rig.kernel.timeout(at - last)
+            last = at
+            print(f"[t={rig.kernel.now:6.1f}s] FAULT: {description}")
+            inject(rig)
+
+    rig.kernel.process(fault_schedule(), name="fault-schedule")
+    rig.run_for(480.0)
+
+    print("\nRecovery timeline (what the recovery manager did):")
+    for action in rig.recovery_manager.actions:
+        target = "+".join(action.target) or "(whole level)"
+        print(f"  [t={action.decided_at:6.1f}s] {action.level:<12} {target}"
+              f"  ({(action.finished_at - action.decided_at) * 1000:.0f} ms)")
+
+    metrics = rig.metrics
+    print(f"\nOver {rig.kernel.now / 60:.0f} simulated minutes:")
+    print(f"  good requests:   {metrics.good_requests}")
+    print(f"  failed requests: {metrics.failed_requests}")
+    print(f"  failed actions:  {metrics.failed_actions}")
+    recoveries = len(rig.recovery_manager.actions)
+    if recoveries:
+        print(f"  failed requests per recovery: "
+              f"{metrics.failed_requests / recoveries:.1f} "
+              "(the paper's JVM-restart baseline: ≈3,917)")
+
+
+if __name__ == "__main__":
+    main()

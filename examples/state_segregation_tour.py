@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""A tour of crash-only state segregation (§2, §3.3).
+
+eBid keeps three kinds of important state in three dedicated stores:
+
+  * long-term data    → the transactional database (survives everything);
+  * session state     → FastS (in-JVM) or SSM (external, checksummed);
+  * presentation data → a read-only static filesystem.
+
+This example logs a user in, stores session state, then escalates through
+the recovery hierarchy — microreboot, whole-application restart, JVM
+restart — showing exactly which state survives each level, for both
+session-store choices.
+
+Run with::
+
+    python examples/state_segregation_tour.py
+"""
+
+from repro import DatasetConfig, build_ebid_system
+from repro.appserver.http import HttpRequest
+
+
+def issue(system, url, params=None, cookie=None):
+    request = HttpRequest(url=url, operation=url.rsplit("/", 1)[-1],
+                          params=params or {}, cookie=cookie)
+    return system.kernel.run_until_triggered(system.server.handle_request(request))
+
+
+def session_alive(system, cookie):
+    response = issue(system, "/ebid/AboutMe", cookie=cookie)
+    return not response.payload.get("login_required")
+
+
+def tour(store_kind):
+    print(f"=== session store: {store_kind.upper()} ===")
+    system = build_ebid_system(
+        dataset=DatasetConfig.tiny(), seed=5, session_store=store_kind
+    )
+    kernel = system.kernel
+
+    login = issue(system, "/ebid/Authenticate",
+                  {"user_id": 1, "password": "pw1"})
+    cookie = login.payload["cookie"]
+    issue(system, "/ebid/MakeBid", {"item_id": 3}, cookie)  # session write
+    bids_before = system.database.count("bids")
+    print(f"  logged in (cookie {cookie}), item 3 selected for bidding")
+
+    kernel.run_until_triggered(
+        kernel.process(system.coordinator.microreboot(["Item"]))
+    )
+    print(f"  after EntityGroup µRB:        session alive: "
+          f"{session_alive(system, cookie)}  (both stores survive µRBs)")
+
+    kernel.run_until_triggered(
+        kernel.process(system.coordinator.restart_application())
+    )
+    print(f"  after whole-app restart:      session alive: "
+          f"{session_alive(system, cookie)}  (stores live outside the app)")
+
+    kernel.run_until_triggered(kernel.process(system.server.restart_jvm()))
+    alive = session_alive(system, cookie)
+    note = "SSM is outside the JVM" if alive else "FastS died with the JVM"
+    print(f"  after JVM restart:            session alive: {alive}  ({note})")
+
+    print(f"  database rows intact through all of it: "
+          f"{system.database.count('bids') == bids_before}")
+    print(f"  static pages still served: "
+          f"{issue(system, '/ebid/HomePage').status == 200}")
+    print()
+
+
+def main():
+    for store_kind in ("fasts", "ssm"):
+        tour(store_kind)
+    print("This is the paper's design bargain: FastS is an order of "
+          "magnitude faster per access (Table 5),\nSSM additionally "
+          "survives JVM and node restarts (§5.2's lost-work comparison).")
+
+
+if __name__ == "__main__":
+    main()

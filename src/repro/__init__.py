@@ -1,0 +1,87 @@
+"""repro — a reproduction of "Microreboot: A Technique for Cheap Recovery".
+
+George Candea, Shinichi Kawamoto, Yuichi Fujiki, Greg Friedman, Armando
+Fox.  Proc. 6th Symposium on Operating Systems Design and Implementation
+(OSDI), December 2004.
+
+The package is organized bottom-up:
+
+* :mod:`repro.sim` — discrete-event simulation kernel.
+* :mod:`repro.appserver` — the J2EE application-server substrate.
+* :mod:`repro.stores` — state stores (database, FastS, SSM, static files).
+* :mod:`repro.core` — **the paper's contribution**: microreboot machinery,
+  recovery groups, the recursive recovery manager, microrejuvenation, and
+  call-retry masking.
+* :mod:`repro.ebid` — the crash-only auction application.
+* :mod:`repro.faults` — fault injection.
+* :mod:`repro.detection` — client-side and comparison-based detectors.
+* :mod:`repro.workload` — the Markov client emulator and the Taw metric.
+* :mod:`repro.cluster` — multi-node clusters with (micro)failover.
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quickstart::
+
+    from repro import build_ebid_system, FaultInjector
+
+    system = build_ebid_system()
+    injector = FaultInjector(system)
+    injector.inject_transient_exception("BrowseCategories")
+    event = system.kernel.process(
+        system.coordinator.microreboot(["BrowseCategories"])
+    )
+    system.kernel.run_until_triggered(event)
+"""
+
+from repro.cluster import Cluster, FailoverMode, LoadBalancer, Node, build_cluster
+from repro.core import (
+    FailureKind,
+    FailureReport,
+    MicrocheckpointStore,
+    MicrorebootCoordinator,
+    RecoveryManager,
+    RejuvenationService,
+    RetryPolicy,
+    compute_recovery_groups,
+)
+from repro.detection import ComparisonDetector, SimpleDetector
+from repro.ebid import DatasetConfig, EbidSystem, build_ebid_system
+from repro.faults import CorruptionMode, FaultInjector, LowLevelInjector
+from repro.sim import Kernel, RngRegistry
+from repro.workload import (
+    ClientPopulation,
+    EmulatedClient,
+    TawAccounting,
+    WorkloadProfile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClientPopulation",
+    "Cluster",
+    "ComparisonDetector",
+    "CorruptionMode",
+    "DatasetConfig",
+    "EbidSystem",
+    "EmulatedClient",
+    "FailoverMode",
+    "FailureKind",
+    "FailureReport",
+    "FaultInjector",
+    "Kernel",
+    "LoadBalancer",
+    "LowLevelInjector",
+    "MicrocheckpointStore",
+    "MicrorebootCoordinator",
+    "Node",
+    "RecoveryManager",
+    "RejuvenationService",
+    "RetryPolicy",
+    "RngRegistry",
+    "SimpleDetector",
+    "TawAccounting",
+    "WorkloadProfile",
+    "build_cluster",
+    "build_ebid_system",
+    "compute_recovery_groups",
+]

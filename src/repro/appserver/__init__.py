@@ -1,0 +1,72 @@
+"""The application-server substrate (JBoss/J2EE analogue).
+
+The paper adds microreboot machinery to JBoss and runs a crash-only J2EE
+application on it.  This package is our from-scratch stand-in for that
+platform: component containers with instance pools, a naming service (the
+JNDI analogue), deployment descriptors and a deployer, a transaction manager,
+per-component classloaders, a JVM heap model with per-owner attribution, a
+processor-sharing CPU model, and the HTTP front end.
+
+Everything here is generic platform code: the eBid application in
+:mod:`repro.ebid` is deployed onto it, and the microreboot machinery in
+:mod:`repro.core` operates on it.
+"""
+
+from repro.appserver.component import (
+    Component,
+    EntityBean,
+    InvocationContext,
+    StatelessSessionBean,
+    WebComponent,
+)
+from repro.appserver.container import Container, ContainerState
+from repro.appserver.cpu import ProcessorSharingCpu
+from repro.appserver.descriptors import ComponentKind, DeploymentDescriptor
+from repro.appserver.errors import (
+    AppServerError,
+    ApplicationException,
+    ComponentUnavailableError,
+    InvocationError,
+    NamingError,
+    OutOfMemoryError_,
+    ServerDownError,
+    TransactionError,
+)
+from repro.appserver.http import HttpRequest, HttpResponse, HttpStatus
+from repro.appserver.memory import HeapModel
+from repro.appserver.naming import NamingService, Sentinel
+from repro.appserver.server import ApplicationServer, ServerState
+from repro.appserver.timing import TimingModel
+from repro.appserver.transactions import Transaction, TransactionManager
+
+__all__ = [
+    "AppServerError",
+    "ApplicationException",
+    "ApplicationServer",
+    "Component",
+    "ComponentKind",
+    "ComponentUnavailableError",
+    "Container",
+    "ContainerState",
+    "DeploymentDescriptor",
+    "EntityBean",
+    "HeapModel",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpStatus",
+    "InvocationContext",
+    "InvocationError",
+    "NamingError",
+    "NamingService",
+    "OutOfMemoryError_",
+    "ProcessorSharingCpu",
+    "Sentinel",
+    "ServerDownError",
+    "ServerState",
+    "StatelessSessionBean",
+    "TimingModel",
+    "Transaction",
+    "TransactionError",
+    "TransactionManager",
+    "WebComponent",
+]

@@ -1,0 +1,67 @@
+"""Per-component classloaders.
+
+JBoss gives each EJB its own classloader for sandboxing; the paper's
+microreboot deliberately *preserves* the classloader (§3.2) so internal
+references to the component need no update.  The observable consequence we
+model: static variables survive a microreboot (but not an application or JVM
+restart).  J2EE discourages mutable statics — eBid's beans do not use them —
+but the platform supports them so tests can demonstrate exactly why they are
+dangerous in a microrebootable system (§7, "impact on shared state").
+"""
+
+from itertools import count
+
+_loader_ids = count(1)
+
+
+class ClassLoader:
+    """Identity scope for one component's classes.
+
+    Attributes:
+        component: name of the component this loader serves.
+        loader_id: unique id; a class' identity in Java is (name, loader),
+            so replacing the loader would invalidate every reference to the
+            component's classes.
+        statics: the static-variable table of the component's classes.
+            Survives microreboots (the loader is kept); cleared only when
+            the loader itself is discarded.
+    """
+
+    def __init__(self, component):
+        self.component = component
+        self.loader_id = next(_loader_ids)
+        self.statics = {}
+
+    def class_identity(self, class_name):
+        """The (class, loader) identity pair."""
+        return (class_name, self.loader_id)
+
+    def __repr__(self):
+        return f"<ClassLoader #{self.loader_id} for {self.component!r}>"
+
+
+class ClassLoaderRegistry:
+    """The server's set of live classloaders."""
+
+    def __init__(self):
+        self._loaders = {}
+
+    def loader_for(self, component):
+        """Return the live loader for ``component``, creating one if needed.
+
+        A microreboot calls this and gets the *same* loader back; a
+        whole-application or JVM restart calls :meth:`discard` first and a
+        fresh loader (new identity, empty statics) is created.
+        """
+        loader = self._loaders.get(component)
+        if loader is None:
+            loader = ClassLoader(component)
+            self._loaders[component] = loader
+        return loader
+
+    def discard(self, component):
+        """Drop the loader (application restart / JVM restart semantics)."""
+        self._loaders.pop(component, None)
+
+    def discard_all(self):
+        self._loaders.clear()

@@ -1,0 +1,88 @@
+"""The naming service (JNDI analogue).
+
+Components never hold direct references to each other; they look each other
+up by name through this service (§3.3, "Isolation and decoupling").  That
+indirection is what makes microreboots possible: the µRB machinery rebinds
+the name while the component is recycled, and — for the call-retry scheme of
+§6.2 — binds a *sentinel* carrying the estimated recovery time so callers
+can answer ``503 Retry-After`` instead of failing.
+
+The JNDI repository is also one of the volatile-metadata fault-injection
+targets (Table 2): entries can be corrupted to ``None``, to a dangling
+container id, or to the wrong component's container.
+"""
+
+from dataclasses import dataclass
+
+from repro.appserver.errors import NamingError
+
+
+@dataclass
+class Sentinel:
+    """Placeholder bound in place of a microrebooting component's name."""
+
+    component: str
+    retry_after: float  # estimated seconds until the component is back
+
+
+class NamingService:
+    """Name → container-id bindings with sentinel support."""
+
+    def __init__(self):
+        self._bindings = {}
+
+    # ------------------------------------------------------------------
+    # Normal operation
+    # ------------------------------------------------------------------
+    def bind(self, name, container_id):
+        """Create or replace the binding for ``name``."""
+        self._bindings[name] = container_id
+
+    def unbind(self, name):
+        """Remove the binding for ``name`` (component undeployed)."""
+        self._bindings.pop(name, None)
+
+    def lookup(self, name):
+        """Resolve ``name`` to a container id.
+
+        Raises :class:`NamingError` for unbound names and for entries
+        corrupted to ``None`` (the corrupted entry elicits the same
+        NullPointerException-style failure the paper injects).  A
+        :class:`Sentinel` is returned as-is; callers decide whether to
+        translate it into a retryable response.
+        """
+        if name not in self._bindings:
+            raise NamingError(name, "not bound")
+        target = self._bindings[name]
+        if target is None:
+            raise NamingError(name, "entry is null (corrupted)")
+        return target
+
+    def is_bound(self, name):
+        return name in self._bindings
+
+    def bound_names(self):
+        return list(self._bindings)
+
+    # ------------------------------------------------------------------
+    # Microreboot support
+    # ------------------------------------------------------------------
+    def bind_sentinel(self, name, retry_after):
+        """Bind a sentinel while ``name``'s component microreboots."""
+        self._bindings[name] = Sentinel(name, retry_after)
+
+    def is_sentinel(self, name):
+        return isinstance(self._bindings.get(name), Sentinel)
+
+    # ------------------------------------------------------------------
+    # Fault-injection surface (used by repro.faults, never by recovery)
+    # ------------------------------------------------------------------
+    def _corrupt(self, name, value):
+        """Overwrite a binding with an arbitrary (possibly bogus) value."""
+        if name not in self._bindings:
+            raise NamingError(name, "cannot corrupt an unbound name")
+        self._bindings[name] = value
+
+    def _raw(self, name):
+        """The raw binding value, bypassing corruption checks (tests)."""
+        return self._bindings.get(name)

@@ -1,0 +1,136 @@
+"""Calibration constants for the simulated platform.
+
+All values are in **seconds** and are calibrated so that a fault-free
+single-node run reproduces the paper's steady-state numbers (Table 5:
+~72 req/s and ~15 ms mean latency with FastS, ~28 ms with SSM, at 500
+concurrent clients) and recovery experiments reproduce Table 3's
+crash/reinit breakdown.
+
+Component-specific crash/reinit times live in the deployment descriptors
+(:mod:`repro.ebid.descriptors` carries the paper's Table 3 values); this
+module holds everything that is platform-wide.
+"""
+
+from dataclasses import dataclass, field
+
+
+def _default_jboss_services():
+    """Init times for the JBoss-analogue services (paper §5.2).
+
+    The paper reports that 56% of the 19 s JVM-restart time is spent
+    initializing JBoss and its more than 70 services, calling out the
+    transaction service (2 s), the embedded web server (1.8 s), and the
+    control & management service (1.2 s).  The remainder here is spread
+    over small services so the total service-init time is ~10.7 s.
+    """
+    services = [
+        ("transaction-service", 2.0),
+        ("embedded-web-server", 1.8),
+        ("control-and-management", 1.2),
+        ("naming-service", 0.35),
+        ("deployer-service", 0.30),
+        ("security-service", 0.25),
+        ("connection-pool", 0.22),
+        ("thread-pool", 0.15),
+        ("classloading-service", 0.18),
+        ("mail-service", 0.12),
+        ("scheduler-service", 0.10),
+        ("jmx-adaptor", 0.20),
+    ]
+    # 64 further small services, 0.06 s each, bring the count past 70 and
+    # the total to ~10.75 s (56% of 19.08 s ≈ 10.7 s).
+    services.extend((f"aux-service-{i:02d}", 0.06) for i in range(64))
+    return services
+
+
+@dataclass
+class TimingModel:
+    """Platform-wide timing calibration (seconds)."""
+
+    #: Base CPU demand the web tier charges per request (connection
+    #: handling, parsing, rendering), on top of per-bean demands.  Chosen
+    #: so the *total* CPU per request averages ≈6 ms: a node then saturates
+    #: near 160 req/s, normal load (500 clients ≈ 71 req/s) runs at
+    #: comfortable utilization, and doubled load (§5.3) sits close enough
+    #: to saturation that failing one node's traffic over to the others
+    #: overloads them — the regime Figure 4 and Table 4 explore.
+    request_cpu_time: float = 0.0053
+
+    #: Latency of one database access (entity-bean load/store) as seen from
+    #: the application tier: LAN round trip plus MySQL work.
+    db_access_time: float = 0.0025
+
+    #: Latency of one FastS session access (in-JVM, compiler-enforced
+    #: barriers only — fast).
+    fasts_access_time: float = 0.0004
+
+    #: Latency of one SSM session access: marshalling, a network round trip
+    #: to the state-store brick, unmarshalling.  Roughly 45% of requests
+    #: touch session state (Table 1's lifecycle/update categories plus the
+    #: logged-in commit paths), so this is calibrated to raise the *mean*
+    #: request latency by ~12-13 ms when switching FastS→SSM (Table 5's
+    #: 15 → 28 ms, a 70-90% increase).
+    ssm_access_time: float = 0.018
+
+    #: Static content service time (file cache hit in the web tier).
+    static_content_time: float = 0.0015
+
+    #: Extra CPU burned populating a node's session cache from SSM when a
+    #: failed-over session first arrives (§5.3).
+    ssm_cache_population_time: float = 0.008
+
+    #: Quantum for the processor-sharing CPU approximation.
+    cpu_quantum: float = 0.004
+
+    #: JBoss-analogue service init schedule (name, seconds).
+    jboss_services: list = field(default_factory=_default_jboss_services)
+
+    #: Crash ("kill -9") cost for the JVM process — effectively immediate.
+    jvm_crash_time: float = 0.001
+
+    #: Operating-system reboot time (BIOS + kernel + services).  The paper
+    #: does not report a figure; a small-cluster Linux box of the era took
+    #: on the order of a minute.
+    os_reboot_time: float = 65.0
+
+    #: Time for the whole-application restart (Table 3: eBid restarts in
+    #: 7.699 s total, less than the sum of per-component restarts because
+    #: the deployer batches redeployment).
+    app_restart_crash_time: float = 0.033
+    app_restart_reinit_time: float = 7.666
+
+    #: Application deploy time during a cold JVM start.  Slightly larger
+    #: than the warm whole-app restart because the deployer also verifies
+    #: EJB interfaces and builds containers from scratch; sized so the total
+    #: JVM restart is the paper's 19.083 s (56% services / 44% app deploy).
+    jvm_app_deploy_time: float = 8.37
+
+    #: Garbage-collector pause after a µRB (§8: Java offers no constant-time
+    #: resource reclamation; the prototype calls the collector after a µRB).
+    gc_pause_after_urb: float = 0.020
+
+    #: Database process crash-recovery time (WAL replay; "MySQL is
+    #: crash-safe and recovers fast for our datasets").
+    db_recovery_time: float = 2.0
+
+    #: Multiplier applied to all service times to model jitter; sampled as
+    #: uniform(1-jitter, 1+jitter) per operation.
+    jitter: float = 0.15
+
+    def jboss_services_init_time(self):
+        """Total init time of all platform services (~10.7 s)."""
+        return sum(duration for _name, duration in self.jboss_services)
+
+    def jvm_restart_time(self):
+        """Total JVM restart time ≈ 19.08 s (Table 3, bottom row)."""
+        return (
+            self.jvm_crash_time
+            + self.jboss_services_init_time()
+            + self.jvm_app_deploy_time
+        )
+
+    def sample(self, rng, base):
+        """Apply multiplicative jitter to a base service time."""
+        if self.jitter <= 0:
+            return base
+        return base * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)

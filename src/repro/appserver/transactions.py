@@ -1,0 +1,112 @@
+"""Transaction manager.
+
+State segregation (§2) requires that persistent-state updates be
+transactional: "If an EJB is involved in any transactions at the time of a
+microreboot, they are all automatically aborted by the container and rolled
+back by the database" (§3.3).  The manager tracks which components each
+transaction has touched so the microreboot machinery can abort exactly the
+affected transactions.
+
+Resources (the database, in this reproduction) enlist in a transaction and
+implement the two-call protocol ``commit_transaction(tx_id)`` /
+``rollback_transaction(tx_id)``.
+"""
+
+import enum
+from itertools import count
+
+from repro.appserver.errors import TransactionError
+
+
+class TxState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ROLLED_BACK = "rolled-back"
+
+
+class Transaction:
+    """One unit of work spanning component calls and resource updates."""
+
+    _ids = count(1)
+
+    def __init__(self, owner):
+        self.tx_id = next(Transaction._ids)
+        self.owner = owner
+        self.state = TxState.ACTIVE
+        self.components = set()  # components whose code ran inside this tx
+        self.resources = []  # enlisted resources, in enlistment order
+
+    @property
+    def is_active(self):
+        return self.state is TxState.ACTIVE
+
+    def enlist(self, resource):
+        """Register a resource the first time the transaction touches it."""
+        if not self.is_active:
+            raise TransactionError(f"tx {self.tx_id} is {self.state.value}")
+        if resource not in self.resources:
+            self.resources.append(resource)
+
+    def touch(self, component_name):
+        """Record that ``component_name``'s code ran inside this tx."""
+        self.components.add(component_name)
+
+    def __repr__(self):
+        return f"<Transaction #{self.tx_id} {self.state.value}>"
+
+
+class TransactionManager:
+    """Begins, commits, rolls back, and force-aborts transactions."""
+
+    def __init__(self):
+        self._active = {}
+        self.committed_count = 0
+        self.rolled_back_count = 0
+
+    @property
+    def active_transactions(self):
+        return list(self._active.values())
+
+    def begin(self, owner):
+        tx = Transaction(owner)
+        self._active[tx.tx_id] = tx
+        return tx
+
+    def commit(self, tx):
+        """Commit: flush every enlisted resource, then retire the tx."""
+        if not tx.is_active:
+            raise TransactionError(f"commit of {tx!r}")
+        for resource in tx.resources:
+            resource.commit_transaction(tx.tx_id)
+        tx.state = TxState.COMMITTED
+        del self._active[tx.tx_id]
+        self.committed_count += 1
+
+    def rollback(self, tx):
+        """Roll back every enlisted resource, then retire the tx."""
+        if not tx.is_active:
+            raise TransactionError(f"rollback of {tx!r}")
+        for resource in tx.resources:
+            resource.rollback_transaction(tx.tx_id)
+        tx.state = TxState.ROLLED_BACK
+        del self._active[tx.tx_id]
+        self.rolled_back_count += 1
+
+    def abort_involving(self, component_names):
+        """Roll back every active tx that touched any listed component.
+
+        Called by the microreboot machinery before destroying instances.
+        Returns the number of transactions aborted.
+        """
+        names = set(component_names)
+        doomed = [tx for tx in self._active.values() if tx.components & names]
+        for tx in doomed:
+            self.rollback(tx)
+        return len(doomed)
+
+    def abort_all(self):
+        """Roll back every active transaction (whole-app / JVM restart)."""
+        doomed = list(self._active.values())
+        for tx in doomed:
+            self.rollback(tx)
+        return len(doomed)

@@ -1,0 +1,121 @@
+"""Command-line interface: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1
+    python -m repro run figure1 --quick --seed 3
+    python -m repro run all --out-dir results/
+
+Each experiment prints its rendered table (and ASCII figures, where the
+paper has a figure) to stdout; ``--out-dir`` additionally writes one text
+file per experiment.
+"""
+
+import argparse
+import inspect
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    availability,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+EXPERIMENTS = {
+    "table1": (table1, "Client workload mix"),
+    "table2": (table2, "Fault → worst-case recovery level (26 scenarios)"),
+    "table3": (table3, "Recovery times under load"),
+    "table4": (table4, "Requests > 8 s during failover at doubled load"),
+    "table5": (table5, "Fault-free throughput and latency"),
+    "table6": (table6, "Masking µRBs with HTTP/1.1 Retry-After"),
+    "figure1": (figure1, "Taw: process restart vs microreboot"),
+    "figure2": (figure2, "Functional disruption by group"),
+    "figure3": (figure3, "Failover under normal load, 2-8 nodes"),
+    "figure4": (figure4, "Response time during failover at doubled load"),
+    "figure5": (figure5, "Relaxing failure detection"),
+    "figure6": (figure6, "Microrejuvenation"),
+    "availability": (availability, "Six-nines recovery allowances"),
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Microreboot: A Technique for Cheap Recovery' "
+            "(Candea et al., OSDI 2004)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--full", action="store_true",
+                     help="paper-scale parameters (slow)")
+    run.add_argument("--quick", action="store_true",
+                     help="smallest parameters (fast smoke run)")
+    run.add_argument("--out-dir", type=Path, default=None,
+                     help="also write rendered output files here")
+    return parser
+
+
+def run_experiment(name, seed=0, full=False, quick=False):
+    """Run one experiment by name; returns its ExperimentResult."""
+    module, _description = EXPERIMENTS[name]
+    kwargs = {"seed": seed}
+    accepted = inspect.signature(module.run).parameters
+    if "full" in accepted:
+        kwargs["full"] = full
+    if "quick" in accepted:
+        kwargs["quick"] = quick
+    if "seed" not in accepted:
+        del kwargs["seed"]
+    outcome = module.run(**kwargs)
+    return outcome[0] if isinstance(outcome, tuple) else outcome
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (_module, description) in EXPERIMENTS.items():
+            print(f"  {name.ljust(width)}  {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.monotonic()
+        result = run_experiment(
+            name, seed=args.seed, full=args.full, quick=args.quick
+        )
+        elapsed = time.monotonic() - started
+        print(result.render())
+        print(f"[{name} regenerated in {elapsed:.1f}s wall time]")
+        print()
+        if args.out_dir is not None:
+            args.out_dir.mkdir(parents=True, exist_ok=True)
+            (args.out_dir / f"{name}.txt").write_text(
+                result.render() + "\n", encoding="utf-8"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

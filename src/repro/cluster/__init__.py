@@ -1,0 +1,15 @@
+"""Multi-node clusters (§5.3).
+
+A cluster is N independent application-server nodes behind a client-side
+load balancer that spreads new logins evenly and maintains session affinity
+for established sessions.  During recovery the balancer can fail a node
+over entirely (the classical scheme), fail over only the requests that
+would touch the recovering components ("microfailover", §6.1), or keep
+routing to the recovering node (µRB without failover).
+"""
+
+from repro.cluster.cluster import Cluster, build_cluster
+from repro.cluster.load_balancer import FailoverMode, LoadBalancer
+from repro.cluster.node import Node
+
+__all__ = ["Cluster", "FailoverMode", "LoadBalancer", "Node", "build_cluster"]

@@ -1,0 +1,83 @@
+"""Cluster assembly: N eBid nodes, one database, one load balancer."""
+
+from dataclasses import dataclass, field
+
+from repro.appserver.timing import TimingModel
+from repro.cluster.load_balancer import LoadBalancer
+from repro.cluster.node import Node
+from repro.ebid.app import build_database, build_ebid_system
+from repro.ebid.descriptors import URL_PATH_MAP
+from repro.ebid.schema import DatasetConfig
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngRegistry
+from repro.stores.ssm import SSM
+
+
+@dataclass
+class Cluster:
+    """A running cluster and its shared infrastructure."""
+
+    kernel: Kernel
+    rng: RngRegistry
+    nodes: list
+    load_balancer: LoadBalancer
+    database: object
+    ssm: object = None
+    dataset: DatasetConfig = field(default_factory=DatasetConfig)
+
+    def node(self, index):
+        return self.nodes[index]
+
+    def find_node(self, name):
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+
+def build_cluster(
+    n_nodes,
+    seed=0,
+    session_store="fasts",
+    dataset=None,
+    timing=None,
+    retry_policy=None,
+):
+    """Build an ``n_nodes`` cluster sharing one database (and SSM, if used).
+
+    With FastS, session state is node-local: a failover loses the failed-
+    over sessions' state.  With SSM, session state lives outside the nodes
+    and survives failover, at the cost of higher access latency (§5.3).
+    """
+    kernel = Kernel()
+    rng = RngRegistry(seed)
+    timing = timing or TimingModel()
+    dataset = dataset or DatasetConfig()
+    database = build_database(kernel, rng, dataset, timing)
+    ssm = SSM(kernel) if session_store == "ssm" else None
+
+    nodes = []
+    for i in range(n_nodes):
+        system = build_ebid_system(
+            kernel=kernel,
+            seed=seed,
+            session_store=session_store,
+            dataset=dataset,
+            timing=timing,
+            retry_policy=retry_policy,
+            name=f"node{i + 1}",
+            shared_database=database,
+            shared_ssm=ssm,
+        )
+        nodes.append(Node(system))
+
+    load_balancer = LoadBalancer(kernel, nodes, url_path_map=URL_PATH_MAP)
+    return Cluster(
+        kernel=kernel,
+        rng=rng,
+        nodes=nodes,
+        load_balancer=load_balancer,
+        database=database,
+        ssm=ssm,
+        dataset=dataset,
+    )

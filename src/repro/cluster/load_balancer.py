@@ -1,0 +1,115 @@
+"""The client-side load balancer (§5.3).
+
+"Under failure-free operation, LB distributes new incoming login requests
+evenly between the nodes and, for established sessions, LB implements
+session affinity."  During a recovery the balancer supports three schemes:
+
+* ``FULL`` failover: every request bound for the recovering node is
+  redirected uniformly to the good nodes;
+* ``MICRO`` failover (§6.1): only requests whose URL call path touches the
+  recovering component(s) are redirected;
+* ``NONE``: requests keep flowing to the recovering node (the paper's
+  "µRB without failover", which Figure 1's averages favour).
+"""
+
+import enum
+
+
+class FailoverMode(enum.Enum):
+    NONE = "none"
+    FULL = "full"
+    MICRO = "micro"
+
+
+class LoadBalancer:
+    """Routes client requests to cluster nodes."""
+
+    def __init__(self, kernel, nodes, url_path_map=None):
+        self.kernel = kernel
+        self.nodes = list(nodes)
+        self.url_path_map = dict(url_path_map or {})
+        self._affinity = {}  # cookie -> node
+        self._round_robin = 0
+        #: node -> (FailoverMode, components being recovered)
+        self._recovering = {}
+        self.requests_routed = 0
+        self.requests_failed_over = 0
+        self.sessions_failed_over = set()
+
+    # ------------------------------------------------------------------
+    # Recovery coordination (the RM notifies us, §5.3)
+    # ------------------------------------------------------------------
+    def begin_failover(self, node, mode=FailoverMode.FULL, components=()):
+        """A node is about to recover: start redirecting per ``mode``."""
+        self._recovering[node.name] = (mode, frozenset(components))
+
+    def end_failover(self, node):
+        """The node recovered: requests are distributed as before."""
+        self._recovering.pop(node.name, None)
+
+    def recovering_nodes(self):
+        return set(self._recovering)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def handle_request(self, request):
+        """Route one request; returns an event (same contract as a server)."""
+        self.requests_routed += 1
+        node = self._route(request)
+        done = self.kernel.event()
+        self.kernel.process(
+            self._forward(node, request, done),
+            name=f"lb-{request.request_id}",
+        )
+        return done
+
+    def _forward(self, node, request, done):
+        response = yield node.server.handle_request(request)
+        cookie = (response.payload or {}).get("cookie")
+        if cookie:
+            self._affinity[cookie] = node
+        done.succeed(response)
+
+    def _route(self, request):
+        node = self._affinity.get(request.cookie) if request.cookie else None
+        if node is None:
+            return self._next_good_node()
+        redirect = self._recovering.get(node.name)
+        if redirect is None:
+            return node
+        mode, components = redirect
+        if mode is FailoverMode.NONE:
+            return node
+        if mode is FailoverMode.MICRO and not self._touches(request, components):
+            return node
+        self.requests_failed_over += 1
+        if request.cookie:
+            self.sessions_failed_over.add(request.cookie)
+        return self._next_good_node(exclude=node)
+
+    def _touches(self, request, components):
+        """Would this request's call path enter any recovering component?"""
+        best = None
+        for prefix in self.url_path_map:
+            if request.url.startswith(prefix) and (
+                best is None or len(prefix) > len(best)
+            ):
+                best = prefix
+        path = self.url_path_map.get(best, ())
+        return bool(set(path) & components)
+
+    def _next_good_node(self, exclude=None):
+        candidates = [
+            node
+            for node in self.nodes
+            if node is not exclude
+            and not (
+                node.name in self._recovering
+                and self._recovering[node.name][0] is not FailoverMode.NONE
+            )
+        ]
+        if not candidates:
+            candidates = [n for n in self.nodes if n is not exclude] or self.nodes
+        self._round_robin += 1
+        return candidates[self._round_robin % len(candidates)]

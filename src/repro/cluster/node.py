@@ -1,0 +1,82 @@
+"""One middle-tier node: the OS hosting a JVM running the server.
+
+The node is the recovery manager's ``node_controller``: it provides the
+two coarsest recovery actions (JVM restart, OS reboot) and models OS-level
+memory, which an extra-JVM leak exhausts (Table 2: only an OS reboot
+cures that).
+"""
+
+DEFAULT_OS_MEMORY = 2 * 1024 * 1024 * 1024  # paper nodes have 1-1.5 GB + swap
+
+
+class Node:
+    """OS + JVM wrapper around one :class:`~repro.ebid.app.EbidSystem`."""
+
+    def __init__(self, system, os_memory=DEFAULT_OS_MEMORY):
+        self.system = system
+        self.os_memory = os_memory
+        self.os_leaked = 0
+        self.os_reboots = 0
+        self.jvm_restarts = 0
+
+    @property
+    def name(self):
+        return self.system.server.name
+
+    @property
+    def server(self):
+        return self.system.server
+
+    @property
+    def kernel(self):
+        return self.system.kernel
+
+    @property
+    def os_available(self):
+        return self.os_memory - self.os_leaked
+
+    # ------------------------------------------------------------------
+    # OS-level memory (extra-JVM leaks)
+    # ------------------------------------------------------------------
+    def leak_os_memory(self, nbytes):
+        """Memory leaked by another process on this node."""
+        self.os_leaked += nbytes
+        self._apply_os_pressure()
+
+    def _apply_os_pressure(self):
+        if self.os_available <= 0:
+            # The OS cannot service the JVM any more: accepts start failing.
+            self.server.accept_fault = "ENOMEM: node out of memory"
+
+    # ------------------------------------------------------------------
+    # Recovery actions (the node_controller protocol)
+    # ------------------------------------------------------------------
+    def restart_jvm(self):
+        """Generator: kill -9 the JVM and cold-boot it (§4, via ssh)."""
+        self.jvm_restarts += 1
+        self.system.database.close_sessions_owned_by(
+            self._db_session_owners()
+        )
+        yield from self.server.restart_jvm()
+        # A JVM restart does not help an exhausted OS: reinstate pressure.
+        self._apply_os_pressure()
+
+    def reboot_os(self):
+        """Generator: reboot the whole node."""
+        self.os_reboots += 1
+        self.server.kill()
+        yield self.kernel.timeout(self.server.timing.os_reboot_time)
+        self.os_leaked = 0
+        yield from self.server.boot(cold=True)
+
+    def _db_session_owners(self):
+        """Owners of database sessions opened from this JVM.
+
+        When the JVM dies, the OS tears down its TCP connections and the
+        database terminates the corresponding sessions immediately (§7).
+        """
+        return [
+            session.owner
+            for session in self.system.database._sessions.values()
+            if getattr(session.owner, "server", None) is self.server
+        ]

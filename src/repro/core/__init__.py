@@ -1,0 +1,42 @@
+"""The paper's primary contribution: microreboot machinery.
+
+* :class:`~repro.core.microreboot.MicrorebootCoordinator` — the
+  "microreboot method added to JBoss" (§3.2): surgically recycle one or
+  more components (expanding to recovery groups), the WAR, or the whole
+  application, preserving classloaders and session state.
+* :class:`~repro.core.recovery_groups` — transitive closure of inter-EJB
+  dependencies from deployment descriptors.
+* :class:`~repro.core.recovery_manager.RecoveryManager` — score-based
+  diagnosis plus the recursive recovery policy (EJB → WAR → application →
+  JVM → OS → human).
+* :class:`~repro.core.rejuvenation.RejuvenationService` — microrejuvenation
+  (§6.4): rolling µRBs keyed off available heap memory.
+* :class:`~repro.core.retry.RetryPolicy` — the §6.2 transparent call-retry
+  configuration (HTTP 503 Retry-After plus the optional pre-µRB drain
+  delay).
+"""
+
+from repro.core.microcheckpoint import MicrocheckpointStore
+from repro.core.microreboot import MicrorebootCoordinator, RebootEvent
+from repro.core.recovery_groups import compute_recovery_groups
+from repro.core.recovery_manager import (
+    FailureKind,
+    FailureReport,
+    RecoveryAction,
+    RecoveryManager,
+)
+from repro.core.rejuvenation import RejuvenationService
+from repro.core.retry import RetryPolicy
+
+__all__ = [
+    "FailureKind",
+    "FailureReport",
+    "MicrocheckpointStore",
+    "MicrorebootCoordinator",
+    "RebootEvent",
+    "RecoveryAction",
+    "RecoveryManager",
+    "RejuvenationService",
+    "RetryPolicy",
+    "compute_recovery_groups",
+]

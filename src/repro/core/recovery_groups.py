@@ -1,0 +1,49 @@
+"""Recovery-group computation (§3.2).
+
+"Some EJBs cannot be microrebooted individually, because EJBs might maintain
+references to other EJBs and because certain metadata relationships can span
+containers.  Thus, whenever an EJB is microrebooted, we microreboot the
+transitive closure of its inter-EJB dependents as a group.  To determine
+these recovery groups, we examine the EJB deployment descriptors."
+
+The descriptors' ``group_references`` edges are treated as undirected
+(either endpoint being recycled invalidates the shared metadata), so a
+recovery group is a connected component of that graph.
+"""
+
+
+def compute_recovery_groups(descriptors):
+    """Map each component name to its recovery group (a frozenset).
+
+    Components with no group references form singleton groups.  Unknown
+    names appearing in ``group_references`` raise ValueError — a descriptor
+    bug better caught at deploy time than during recovery.
+    """
+    names = {d.name for d in descriptors}
+    adjacency = {name: set() for name in names}
+    for descriptor in descriptors:
+        for ref in descriptor.group_references:
+            if ref not in names:
+                raise ValueError(
+                    f"{descriptor.name!r} group-references unknown component {ref!r}"
+                )
+            adjacency[descriptor.name].add(ref)
+            adjacency[ref].add(descriptor.name)
+
+    groups = {}
+    for start in names:
+        if start in groups:
+            continue
+        # Breadth-first closure over the undirected reference graph.
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        group = frozenset(seen)
+        for member in group:
+            groups[member] = group
+    return groups

@@ -1,0 +1,346 @@
+"""The recovery manager (§4): diagnosis scores + the recursive policy.
+
+The RM listens (on the simulated analogue of a UDP port) for failure
+reports from the monitors, each carrying the failed URL and the failure
+type.  Using a static URL-prefix → call-path map, it increments a score for
+every component on the path of a failed URL and recovers when a score
+crosses a hand-tuned threshold, always trying the cheapest action first:
+
+    EJB µRB → WAR µRB → application restart → JVM restart → OS reboot
+    → notify a human.
+
+Diagnosis is deliberately "simplistic ... often yields false positives"
+(§4) — the paper's point is that µRBs are cheap enough to tolerate sloppy
+diagnosis.  One refinement mirrors the rejuvenation service: reports whose
+failure kind is resource exhaustion are diagnosed by heap attribution (the
+biggest leaker gets microrebooted) rather than by call-path scores.
+"""
+
+import enum
+from dataclasses import dataclass
+
+from repro.sim.resources import Queue
+
+
+class FailureKind(enum.Enum):
+    """What a monitor observed (the §4 detector taxonomy)."""
+
+    NETWORK = "network"  # cannot connect / connection reset
+    HTTP_ERROR = "http-error"  # 4xx or 5xx status
+    KEYWORD = "keyword"  # failure keywords in a 200 page
+    APP_SPECIFIC = "app-specific"  # negative ids, login loop, ...
+    COMPARISON_MISMATCH = "comparison"  # differs from known-good instance
+    RESOURCE_EXHAUSTION = "resource-exhaustion"  # OOM signatures
+    TIMEOUT = "timeout"  # no response within the client's patience
+
+
+@dataclass
+class FailureReport:
+    """One monitor observation delivered to the RM."""
+
+    time: float
+    url: str
+    operation: str
+    kind: FailureKind
+    detail: str = ""
+    client_id: int = 0
+
+
+@dataclass
+class RecoveryAction:
+    """One recovery the RM performed (for timelines and assertions)."""
+
+    decided_at: float
+    level: str
+    target: tuple
+    trigger: FailureKind
+    finished_at: float = None
+
+
+#: The recursive policy's escalation ladder (§4).
+LEVELS = ("ejb", "war", "application", "jvm", "os", "human")
+
+
+class RecoveryManager:
+    """Automated failure diagnosis and recursive recovery."""
+
+    def __init__(
+        self,
+        kernel,
+        coordinator,
+        url_path_map,
+        node_controller=None,
+        score_threshold=3,
+        escalation_window=45.0,
+        recurring_limit=8,
+        recurring_window=600.0,
+        policy="recursive",
+        post_recovery_grace=30.0,
+        max_ejb_attempts=2,
+        score_window=25.0,
+        kind_weights=None,
+    ):
+        if policy not in ("recursive", "process-restart"):
+            raise ValueError(f"unknown recovery policy {policy!r}")
+        self.kernel = kernel
+        self.coordinator = coordinator
+        self.url_path_map = dict(url_path_map)
+        self.node_controller = node_controller
+        self.score_threshold = score_threshold
+        self.escalation_window = escalation_window
+        self.recurring_limit = recurring_limit
+        self.recurring_window = recurring_window
+        #: "recursive" is the paper's cheapest-first ladder; the
+        #: "process-restart" policy restarts the JVM on every recovery —
+        #: the baseline Figure 1 compares microreboots against.
+        self.policy = policy
+        #: Reports stamped before last-recovery-end + grace are dropped:
+        #: right after a recovery, residual failures (e.g. one login
+        #: prompt per client whose session a JVM restart destroyed) are
+        #: expected and must not immediately re-trigger recovery.
+        self.post_recovery_grace = post_recovery_grace
+        #: How many distinct EJB targets to try before coarsening.
+        self.max_ejb_attempts = max_ejb_attempts
+        #: component -> number of mapped URL prefixes containing it; used
+        #: to prefer components *specific* to the failing URLs over ones
+        #: (like entity beans) that appear on almost every path.
+        self._paths_containing = {}
+        for path in self.url_path_map.values():
+            for component in path:
+                self._paths_containing[component] = (
+                    self._paths_containing.get(component, 0) + 1
+                )
+        self._ejb_attempts_this_incident = 0
+        #: Scores are computed over a sliding window so a brief, self-
+        #: healing burst (e.g. each client's one login prompt after a JVM
+        #: restart lost the sessions) decays instead of accumulating
+        #: towards the threshold forever.
+        self.score_window = score_window
+        #: Failure kinds may be down-weighted; application-specific
+        #: login prompts are characteristically self-healing (the client
+        #: re-logs-in), so they count less towards recovery decisions.
+        self.kind_weights = dict(kind_weights or {FailureKind.APP_SPECIFIC: 0.2})
+        self._recent_reports = []  # (time, path components, weight)
+
+        self.inbox = Queue(kernel)
+        self.scores = {}
+        self.actions = []
+        self.human_notified = False
+        self.recovering = False
+        self._last_action_end = None
+        self._last_level_index = -1
+        self._tried_this_incident = set()
+        self._process = None
+        #: Observers called with each completed RecoveryAction (the load
+        #: balancer hooks in here for failover coordination, §5.3).
+        self.listeners = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def server(self):
+        return self.coordinator.server
+
+    def start(self):
+        """Spawn the RM's event loop."""
+        if self._process is None or not self._process.is_alive:
+            self._process = self.kernel.process(self._run(), name="recovery-manager")
+        return self._process
+
+    def report(self, failure_report):
+        """Deliver one failure report (monitors call this)."""
+        self.inbox.put(failure_report)
+
+    # ------------------------------------------------------------------
+    # Diagnosis
+    # ------------------------------------------------------------------
+    def path_for_url(self, url):
+        """Longest-prefix match into the static URL → call-path map."""
+        best = None
+        for prefix in self.url_path_map:
+            if url.startswith(prefix) and (best is None or len(prefix) > len(best)):
+                best = prefix
+        return list(self.url_path_map.get(best, ()))
+
+    def _score(self, report):
+        weight = self.kind_weights.get(report.kind, 1.0)
+        self._recent_reports.append(
+            (report.time, tuple(self.path_for_url(report.url)), weight)
+        )
+        self._refresh_scores()
+
+    def _refresh_scores(self):
+        """Recompute ``self.scores`` over the sliding window."""
+        horizon = self.kernel.now - self.score_window
+        self._recent_reports = [
+            entry for entry in self._recent_reports if entry[0] >= horizon
+        ]
+        scores = {}
+        for _time, path, weight in self._recent_reports:
+            for component in path:
+                scores[component] = scores.get(component, 0.0) + weight
+        self.scores = scores
+
+    def _top_candidate(self, exclude):
+        """Best EJB candidate not yet tried this incident.
+
+        Ranked by *specificity-weighted* score: a component's raw score
+        divided by how many mapped URLs contain it.  A bean serving only
+        the failing URL outranks an entity bean that sits on most paths,
+        even when their raw scores tie — without this, shared substrates
+        absorb the blame for every failure above them.
+        """
+        war = self.server.web_component_name
+        candidates = [
+            (score / self._paths_containing.get(name, 1), score, name)
+            for name, score in self.scores.items()
+            if score >= self.score_threshold
+            and name != war
+            and name not in exclude
+        ]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda entry: (-entry[0], -entry[1], entry[2]))
+        return candidates[0][2]
+
+    def _biggest_leaker(self):
+        """Memory-attribution diagnosis for resource-exhaustion reports."""
+        for owner in self.server.heap.owners_by_leak():
+            if owner in self.server.containers:
+                return owner
+        return None
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def _run(self):
+        while True:
+            report = yield self.inbox.get()
+            if self._last_action_end is not None:
+                if report.time < self._last_action_end:
+                    continue  # stale: the failure predates the last recovery
+                if (
+                    report.kind is FailureKind.APP_SPECIFIC
+                    and report.time < self._last_action_end + self.post_recovery_grace
+                ):
+                    # Expected aftermath: a session-destroying recovery
+                    # produces one login prompt per client; give the
+                    # population time to re-log-in before reacting.
+                    continue
+            self._score(report)
+            if self._should_act(report):
+                yield from self._recover(report)
+
+    def _should_act(self, report):
+        if self.recovering or self.human_notified:
+            return False
+        if report.kind is FailureKind.RESOURCE_EXHAUSTION:
+            return True
+        return any(
+            score >= self.score_threshold for score in self.scores.values()
+        )
+
+    def _next_level_index(self, now, report):
+        """Recursive policy: try finer targets first, escalate when stuck.
+
+        A fresh incident (quiet since the last recovery plus the grace
+        period and escalation window) starts back at the EJB level.
+        Within an incident, another EJB µRB is attempted while untried
+        hot candidates remain (up to ``max_ejb_attempts``); after that,
+        progressively larger subsets are rebooted.
+        """
+        if (
+            self._last_action_end is None
+            or now - self._last_action_end > self.escalation_window
+        ):
+            self._tried_this_incident = set()
+            self._ejb_attempts_this_incident = 0
+            return 0
+        if (
+            self._last_level_index <= 0
+            and self._ejb_attempts_this_incident < self.max_ejb_attempts
+            and report.kind is not FailureKind.RESOURCE_EXHAUSTION
+            and self._top_candidate(self._tried_this_incident) is not None
+        ):
+            return 0
+        return min(self._last_level_index + 1, len(LEVELS) - 1)
+
+    def _recover(self, report):
+        """Generator: choose and execute one recovery action."""
+        now = self.kernel.now
+        if self.policy == "process-restart":
+            level_index = LEVELS.index("jvm")
+        else:
+            level_index = self._next_level_index(now, report)
+        level = LEVELS[level_index]
+        target = ()
+
+        if level == "ejb":
+            if report.kind is FailureKind.RESOURCE_EXHAUSTION:
+                candidate = self._biggest_leaker()
+                if candidate in self._tried_this_incident:
+                    candidate = None
+            else:
+                candidate = self._top_candidate(self._tried_this_incident)
+            if candidate is None:
+                level_index += 1
+                level = LEVELS[level_index]
+            else:
+                target = tuple(self.coordinator.expand_targets([candidate]))
+                self._tried_this_incident |= set(target)
+                self._ejb_attempts_this_incident += 1
+
+        action = RecoveryAction(
+            decided_at=now, level=level, target=target, trigger=report.kind
+        )
+        self.recovering = True
+        try:
+            if level == "ejb":
+                yield from self.coordinator.microreboot(list(target))
+            elif level == "war":
+                event = yield from self.coordinator.microreboot_war()
+                action.target = event.components
+            elif level == "application":
+                event = yield from self.coordinator.restart_application()
+                action.target = event.components
+            elif level == "jvm":
+                yield from self._restart_jvm()
+            elif level == "os":
+                yield from self._reboot_os()
+            else:  # human
+                self.human_notified = True
+        finally:
+            self.recovering = False
+
+        action.finished_at = self.kernel.now
+        self.actions.append(action)
+        self._last_action_end = action.finished_at
+        self._last_level_index = level_index
+        self.scores = {}
+        self._recent_reports = []
+        self.inbox.drain()  # reports queued during recovery are stale
+        self._check_recurring()
+        for listener in self.listeners:
+            listener(action)
+
+    def _restart_jvm(self):
+        if self.node_controller is not None:
+            yield from self.node_controller.restart_jvm()
+        else:
+            yield from self.server.restart_jvm()
+
+    def _reboot_os(self):
+        if self.node_controller is None:
+            # No node abstraction (single-server rigs): a JVM restart is
+            # the coarsest action available; escalate to the human next.
+            yield from self.server.restart_jvm()
+        else:
+            yield from self.node_controller.reboot_os()
+
+    def _check_recurring(self):
+        """Notify a human on endless reboot cycles (§4)."""
+        cutoff = self.kernel.now - self.recurring_window
+        recent = [a for a in self.actions if a.finished_at >= cutoff]
+        if len(recent) >= self.recurring_limit:
+            self.human_notified = True

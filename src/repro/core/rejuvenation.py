@@ -1,0 +1,103 @@
+"""Microrejuvenation (§6.4): averting leak-induced crashes by parts.
+
+A server-side service periodically checks available JVM memory.  When it
+drops below ``Malarm``, components are microrebooted in a rolling fashion
+until availability exceeds ``Msufficient``; if every component has been
+recycled and memory is still short, the whole JVM is restarted.
+
+The service has no a-priori knowledge of who leaks: it "builds a list of all
+components; as components are microrebooted, the service remembers how much
+memory was released by each one's µRB.  The list is kept sorted in
+descending order by released memory" — so later rejuvenations try the
+biggest historical leakers first.
+"""
+
+
+class RejuvenationService:
+    """Memory-triggered rolling microreboots."""
+
+    def __init__(
+        self,
+        kernel,
+        coordinator,
+        m_alarm_fraction=0.35,
+        m_sufficient_fraction=0.80,
+        check_interval=5.0,
+    ):
+        if not 0 < m_alarm_fraction < m_sufficient_fraction <= 1:
+            raise ValueError(
+                "need 0 < m_alarm < m_sufficient <= 1, got "
+                f"{m_alarm_fraction} / {m_sufficient_fraction}"
+            )
+        self.kernel = kernel
+        self.coordinator = coordinator
+        self.m_alarm_fraction = m_alarm_fraction
+        self.m_sufficient_fraction = m_sufficient_fraction
+        self.check_interval = check_interval
+
+        #: Components in the order the next rejuvenation will try them;
+        #: initialized to deployment order (no leak knowledge yet).
+        self.candidates = list(coordinator._deploy_order)
+        #: Bytes released by the most recent µRB of each component.
+        self.released_history = {name: 0 for name in self.candidates}
+        self.rejuvenation_rounds = 0
+        self.microreboots_performed = 0
+        self.jvm_restarts_performed = 0
+        self.memory_samples = []  # (time, available_bytes) timeline
+        self._process = None
+
+    # ------------------------------------------------------------------
+    @property
+    def server(self):
+        return self.coordinator.server
+
+    @property
+    def m_alarm(self):
+        return self.server.heap.capacity * self.m_alarm_fraction
+
+    @property
+    def m_sufficient(self):
+        return self.server.heap.capacity * self.m_sufficient_fraction
+
+    def start(self):
+        if self._process is None or not self._process.is_alive:
+            self._process = self.kernel.process(self._run(), name="rejuvenator")
+        return self._process
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        while True:
+            yield self.kernel.timeout(self.check_interval)
+            heap = self.server.heap
+            self.memory_samples.append((self.kernel.now, heap.available))
+            if heap.available < self.m_alarm:
+                yield from self._rejuvenate()
+                self.memory_samples.append((self.kernel.now, heap.available))
+
+    def _rejuvenate(self):
+        """Generator: one rejuvenation round."""
+        self.rejuvenation_rounds += 1
+        heap = self.server.heap
+        rebooted_groups = set()
+        for name in list(self.candidates):
+            if heap.available >= self.m_sufficient:
+                break
+            group = self.coordinator.groups[name]
+            if group in rebooted_groups:
+                continue  # already recycled as part of an earlier member
+            rebooted_groups.add(group)
+            event = yield from self.coordinator.microreboot([name])
+            self.microreboots_performed += 1
+            for member, released in event.memory_released_by.items():
+                self.released_history[member] = released
+        if heap.available < self.m_sufficient:
+            # Every component recycled and still short: whole-JVM restart.
+            yield from self.server.restart_jvm()
+            self.jvm_restarts_performed += 1
+        self._resort_candidates()
+
+    def _resort_candidates(self):
+        """Biggest historical leakers first for the next round."""
+        self.candidates.sort(
+            key=lambda name: self.released_history.get(name, 0), reverse=True
+        )

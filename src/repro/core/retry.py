@@ -1,0 +1,47 @@
+"""Transparent call-retry configuration (§6.2).
+
+HTTP/1.1 offers return code 503 with a ``Retry-After`` header.  During a
+µRB the component's JNDI name is bound to a sentinel; a servlet that hits
+the sentinel while processing an *idempotent* request answers
+``503 Retry-After`` and the client re-issues the call once the component is
+expected to be back.  An optional drain delay between sentinel rebind and
+the start of the µRB lets in-flight requests complete.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RetryPolicy:
+    """Knobs for masking microreboots from end users.
+
+    Attributes:
+        enabled: servlets answer 503+Retry-After instead of failing when an
+            idempotent request hits a microrebooting component.
+        retry_after: seconds the server tells clients to wait.  The paper
+            uses a fixed ``[Retry-After 2 seconds]``.
+        max_retries: how many times a client re-issues before giving up.
+        drain_delay: seconds between binding the sentinel and destroying
+            the component, letting requests already inside the component
+            complete (the paper evaluates 0 and 200 ms, Table 6).
+    """
+
+    enabled: bool = False
+    retry_after: float = 2.0
+    max_retries: int = 3
+    drain_delay: float = 0.0
+
+    @classmethod
+    def disabled(cls):
+        """The paper's baseline: no masking."""
+        return cls(enabled=False)
+
+    @classmethod
+    def retry_only(cls):
+        """Table 6's "Retry" column: 503-based retry, no drain delay."""
+        return cls(enabled=True, drain_delay=0.0)
+
+    @classmethod
+    def delay_and_retry(cls):
+        """Table 6's "Delay & retry" column: retry plus a 200 ms drain."""
+        return cls(enabled=True, drain_delay=0.2)

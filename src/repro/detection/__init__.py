@@ -1,0 +1,18 @@
+"""Failure detection (§4).
+
+Two detectors, as in the paper:
+
+* :class:`~repro.detection.simple.SimpleDetector` — fast client-side
+  checks: network-level errors, HTTP 4xx/5xx, failure keywords in the
+  returned HTML, and application-specific checks (being prompted to log in
+  while logged in, negative entity ids in replies).
+* :class:`~repro.detection.comparison.ComparisonDetector` — submits each
+  request in parallel to a separate known-good instance and flags
+  differences, the only detector able to identify complex failures such as
+  a surreptitiously corrupted dollar amount.
+"""
+
+from repro.detection.comparison import COMPARABLE_FIELDS, ComparisonDetector
+from repro.detection.simple import SimpleDetector
+
+__all__ = ["COMPARABLE_FIELDS", "ComparisonDetector", "SimpleDetector"]

@@ -1,0 +1,33 @@
+"""eBid: the crash-only auction application (§3.3).
+
+A from-scratch reproduction of the paper's conversion of RUBiS: user
+accounts, bidding, buy-now purchases, selling, search, summary screens, and
+feedback, built from 9 entity beans and 17 stateless session beans plus a
+WAR, with all important state segregated into the database, a session store
+(FastS or SSM), and a read-only static filesystem.
+"""
+
+from repro.ebid.app import EbidSystem, build_ebid_system
+from repro.ebid.descriptors import (
+    ENTITY_GROUP,
+    FUNCTIONAL_GROUPS,
+    OPERATIONS,
+    URL_PATH_MAP,
+    ebid_descriptors,
+    operation_info,
+)
+from repro.ebid.schema import DatasetConfig, create_schema, populate_dataset
+
+__all__ = [
+    "DatasetConfig",
+    "EbidSystem",
+    "ENTITY_GROUP",
+    "FUNCTIONAL_GROUPS",
+    "OPERATIONS",
+    "URL_PATH_MAP",
+    "build_ebid_system",
+    "create_schema",
+    "ebid_descriptors",
+    "operation_info",
+    "populate_dataset",
+]

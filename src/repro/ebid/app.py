@@ -1,0 +1,128 @@
+"""Assembly of a complete eBid system on one application server.
+
+This wires together everything a single middle-tier node needs: the
+application server, the database (possibly shared with other nodes of a
+cluster), the session store (node-local FastS or shared SSM), the static
+content store, and the microreboot coordinator.
+"""
+
+from dataclasses import dataclass
+
+from repro.appserver.server import ApplicationServer
+from repro.appserver.timing import TimingModel
+from repro.core.microreboot import MicrorebootCoordinator
+from repro.core.retry import RetryPolicy
+from repro.ebid.descriptors import URL_PATH_MAP, ebid_descriptors
+from repro.ebid.schema import DatasetConfig, create_schema, populate_dataset
+from repro.ebid.web import STATIC_PAGES
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngRegistry
+from repro.stores.database import Database
+from repro.stores.fasts import FastS
+from repro.stores.filesystem import StaticContentStore
+from repro.stores.ssm import SSM
+
+
+@dataclass
+class EbidSystem:
+    """One assembled node plus its (possibly shared) stores."""
+
+    kernel: Kernel
+    rng: RngRegistry
+    server: ApplicationServer
+    database: Database
+    session_store: object
+    static_store: StaticContentStore
+    coordinator: MicrorebootCoordinator
+    dataset: DatasetConfig
+
+    @property
+    def url_path_map(self):
+        return URL_PATH_MAP
+
+
+def build_static_store():
+    """The read-only presentation tier content."""
+    store = StaticContentStore(read_only=True)
+    for operation, path in STATIC_PAGES.items():
+        store.publish(path, f"<html>static page: {operation}</html>")
+    store.seal()
+    return store
+
+
+def build_database(kernel, rng, dataset=None, timing=None):
+    """A populated eBid database on its own simulated host."""
+    timing = timing or TimingModel()
+    dataset = dataset or DatasetConfig()
+    database = Database(kernel, recovery_time=timing.db_recovery_time)
+    create_schema(database)
+    populate_dataset(database, rng.stream("dataset"), dataset)
+    return database
+
+
+def build_ebid_system(
+    kernel=None,
+    seed=0,
+    session_store="fasts",
+    dataset=None,
+    timing=None,
+    retry_policy=None,
+    cold_boot=False,
+    name=None,
+    shared_database=None,
+    shared_ssm=None,
+):
+    """Build and boot one eBid node.
+
+    Args:
+        session_store: ``"fasts"`` (in-JVM) or ``"ssm"`` (external).
+        shared_database / shared_ssm: pass existing stores when assembling
+            a multi-node cluster so all nodes see the same state.
+        cold_boot: charge the full 19 s JVM start instead of booting warm
+            at t=0.
+    """
+    kernel = kernel or Kernel()
+    rng = RngRegistry(seed)
+    timing = timing or TimingModel()
+    dataset = dataset or DatasetConfig()
+    retry_policy = retry_policy or RetryPolicy.disabled()
+
+    if shared_database is not None:
+        database = shared_database
+    else:
+        database = build_database(kernel, rng, dataset, timing)
+
+    server = ApplicationServer(
+        kernel, rng.stream(f"server-{name or 'node'}"), timing=timing, name=name
+    )
+    server.database = database
+    server.static_store = build_static_store()
+    server.retry_enabled = retry_policy.enabled
+
+    if session_store == "fasts":
+        store = FastS(name=f"FastS@{server.name}")
+        store.access_time = timing.fasts_access_time
+    elif session_store == "ssm":
+        # NB: "or" would silently build a private store whenever the shared
+        # one is empty (SSM defines __len__); the identity check matters.
+        store = shared_ssm if shared_ssm is not None else SSM(kernel)
+        store.access_time = timing.ssm_access_time
+    else:
+        raise ValueError(f"unknown session store kind {session_store!r}")
+    server.session_store = store
+
+    server.deploy("ebid", ebid_descriptors())
+    boot = kernel.process(server.boot(cold=cold_boot))
+    kernel.run_until_triggered(boot)
+
+    coordinator = MicrorebootCoordinator(server, "ebid", retry_policy=retry_policy)
+    return EbidSystem(
+        kernel=kernel,
+        rng=rng,
+        server=server,
+        database=database,
+        session_store=store,
+        static_store=server.static_store,
+        coordinator=coordinator,
+        dataset=dataset,
+    )

@@ -1,0 +1,162 @@
+"""Database integrity audit for eBid.
+
+Reboot-based recovery *resuscitates* the system; whether the database is
+100% correct is a separate question (§5.1 distinguishes resuscitation from
+recovery, marking with ``≈`` the faults whose repair needs manual database
+work).  This auditor checks the invariants every healthy eBid database
+satisfies; violations after resuscitation correspond to the paper's ``≈``.
+
+The checks are *internal* — they compare the database against its own
+declared consistency rules, not against a shadow copy — so they stay
+meaningful even after the known-good instance has legitimately diverged.
+"""
+
+from repro.ebid.schema import KEYED_TABLES
+
+
+def audit_database(database):
+    """Return a list of human-readable invariant violations (empty = clean)."""
+    violations = []
+    violations.extend(_check_primary_keys(database))
+    violations.extend(_check_sequence_ranges(database))
+    violations.extend(_check_item_aggregates(database))
+    violations.extend(_check_bid_monotonicity(database))
+    violations.extend(_check_field_types(database))
+    return violations
+
+
+def _check_primary_keys(database):
+    for table in KEYED_TABLES:
+        for pk in database.tables[table].rows:
+            if not isinstance(pk, int) or pk <= 0:
+                yield f"{table}: non-positive or non-integer primary key {pk!r}"
+
+
+def _check_sequence_ranges(database):
+    """Every allocated key must lie below its sequence's high-water mark."""
+    limits = {
+        row["relation"]: row["next_value"]
+        for row in database.tables["id_sequences"].rows.values()
+    }
+    for table in KEYED_TABLES:
+        limit = limits.get(table)
+        if limit is None:
+            yield f"id_sequences: no row for table {table}"
+            continue
+        for pk in database.tables[table].rows:
+            if isinstance(pk, int) and pk >= limit:
+                yield (
+                    f"{table}: id {pk} is beyond the sequence high-water "
+                    f"mark {limit} (key was never legitimately allocated)"
+                )
+
+
+def _check_item_aggregates(database):
+    """items.max_bid and items.nb_of_bids must match the bids table."""
+    bids_by_item = {}
+    for bid in database.tables["bids"].rows.values():
+        bids_by_item.setdefault(bid["item_id"], []).append(bid)
+    for pk, item in database.tables["items"].rows.items():
+        bids = bids_by_item.get(pk, [])
+        amounts = [b["amount"] for b in bids if isinstance(b["amount"], int)]
+        expected_max = max([item.get("initial_price", 0), *amounts]) if amounts else item.get("initial_price", 0)
+        if item.get("max_bid") != expected_max:
+            yield (
+                f"items:{pk}: max_bid {item.get('max_bid')!r} inconsistent "
+                f"with bids (expected {expected_max})"
+            )
+        if item.get("nb_of_bids") != len(bids):
+            yield (
+                f"items:{pk}: nb_of_bids {item.get('nb_of_bids')!r} but "
+                f"{len(bids)} bid rows exist"
+            )
+
+
+def _check_bid_monotonicity(database):
+    """No two bids on the same item may carry the same amount.
+
+    A healthy CommitBid only accepts strictly increasing amounts, so equal
+    amounts indicate a corrupted minimum-increment check.
+    """
+    seen = {}
+    for pk, bid in sorted(database.tables["bids"].rows.items(), key=lambda kv: repr(kv[0])):
+        key = (bid["item_id"], bid["amount"])
+        if key in seen:
+            yield (
+                f"bids:{pk}: duplicate amount {bid['amount']} on item "
+                f"{bid['item_id']} (also bid {seen[key]})"
+            )
+        else:
+            seen[key] = pk
+
+
+def _check_field_types(database):
+    for pk, item in database.tables["items"].rows.items():
+        if not isinstance(item.get("name"), str):
+            yield f"items:{pk}: name is {item.get('name')!r}"
+        if not isinstance(item.get("max_bid"), int):
+            yield f"items:{pk}: max_bid is {item.get('max_bid')!r}"
+
+
+def manual_repair(database, reference_snapshots):
+    """The operator's manual repair (the work behind Table 2's ``≈``).
+
+    Invariant-driven: drop rows whose keys were never legitimately
+    allocated, restore type-corrupted fields from a known-good snapshot,
+    drop duplicate-amount bids, then recompute the item aggregates from
+    the (now clean) bids table.  Rows created legitimately after the
+    snapshot are preserved.  Returns the number of rows touched.
+    """
+    touched = 0
+
+    # 1. Drop rows outside their sequence's allocated range / bad keys.
+    limits = {
+        row["relation"]: row["next_value"]
+        for row in database.tables["id_sequences"].rows.values()
+    }
+    for table_name in KEYED_TABLES:
+        table = database.tables[table_name]
+        limit = limits.get(table_name, float("inf"))
+        doomed = [
+            pk for pk in table.rows
+            if not isinstance(pk, int) or pk <= 0 or pk >= limit
+        ]
+        for pk in doomed:
+            table.pop_row(pk)
+            touched += 1
+
+    # 2. Restore type-corrupted item fields from the snapshot.
+    reference_items = reference_snapshots.get("items", {})
+    items_table = database.tables["items"]
+    for pk, item in list(items_table.rows.items()):
+        for column, expected_type in (("name", str), ("max_bid", int)):
+            if not isinstance(item.get(column), expected_type):
+                if pk in reference_items:
+                    items_table.set_column(pk, column, reference_items[pk][column])
+                    touched += 1
+
+    # 3. Drop duplicate-amount bids (keep the earliest).
+    seen = set()
+    bids_table = database.tables["bids"]
+    for pk in sorted(k for k in bids_table.rows if isinstance(k, int)):
+        key = (bids_table.rows[pk]["item_id"], bids_table.rows[pk]["amount"])
+        if key in seen:
+            bids_table.pop_row(pk)
+            touched += 1
+        else:
+            seen.add(key)
+
+    # 4. Recompute item aggregates from the bids table.
+    bids_by_item = {}
+    for bid in bids_table.rows.values():
+        bids_by_item.setdefault(bid["item_id"], []).append(bid["amount"])
+    for pk, item in list(items_table.rows.items()):
+        amounts = bids_by_item.get(pk, [])
+        expected_max = max([item.get("initial_price", 0), *amounts])
+        expected_count = len(amounts)
+        if item.get("max_bid") != expected_max or item.get("nb_of_bids") != expected_count:
+            items_table.set_column(pk, "max_bid", expected_max)
+            items_table.set_column(pk, "nb_of_bids", expected_count)
+            touched += 1
+
+    return touched

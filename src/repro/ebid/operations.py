@@ -1,0 +1,241 @@
+"""eBid's stateless session beans — the 17 operation components of Table 3.
+
+"Stateless session EJBs are used to perform higher level operations on
+entity EJBs: each end user operation is implemented by a stateless session
+EJB interacting with several entity EJBs" (§3.3).  Session-state handling is
+deliberately *not* here: it lives in the WAR against the session store,
+because extricating session state from application logic is the crash-only
+conversion's key step (§8).
+"""
+
+from repro.appserver.component import StatelessSessionBean
+
+
+class AuthenticateBean(StatelessSessionBean):
+    def login(self, ctx, user_id, password):
+        yield from ctx.consume(0.001)
+        ok = yield from ctx.call("User", "check_credentials", user_id, password)
+        return ok
+
+
+class BrowseCategoriesBean(StatelessSessionBean):
+    """Entry point for all browsing — the most-called EJB in the workload."""
+
+    def categories(self, ctx):
+        yield from ctx.consume(0.0008)
+        rows = yield from ctx.call("Category", "all_categories")
+        return rows
+
+
+class BrowseRegionsBean(StatelessSessionBean):
+    def regions(self, ctx):
+        yield from ctx.consume(0.0008)
+        rows = yield from ctx.call("Region", "all_regions")
+        return rows
+
+
+class SearchItemsByCategoryBean(StatelessSessionBean):
+    def search(self, ctx, category_id):
+        yield from ctx.consume(0.004)  # search is CPU-heavier
+        rows = yield from ctx.call("Item", "items_by_category", category_id)
+        return rows
+
+
+class SearchItemsByRegionBean(StatelessSessionBean):
+    def search(self, ctx, region_id):
+        yield from ctx.consume(0.004)
+        rows = yield from ctx.call("Item", "items_by_region", region_id)
+        return rows
+
+
+class ViewItemBean(StatelessSessionBean):
+    """Item detail pages, including past (closed) auctions.
+
+    ``price_factor`` scales the displayed price; it exists to be a target
+    for the "corrupt stateless session EJB attributes" injection: a *wrong*
+    value yields valid-looking but incorrect dollar amounts (the paper's
+    canonical surreptitious-corruption example), which the WAR may cache.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.price_factor = 1
+
+    def view(self, ctx, item_id):
+        yield from ctx.consume(0.001)
+        item = yield from ctx.call("Item", "get_item", item_id)
+        if item is None:
+            old = yield from ctx.call("OldItem", "get_old_item", item_id)
+            if old is None:
+                raise self.app_error(f"no such item {item_id}")
+            return {
+                "item_id": old["id"],
+                "name": old["name"],
+                "price": old["final_price"] * self.price_factor,
+                "closed": True,
+            }
+        return {
+            "item_id": item["id"],
+            "name": item["name"],
+            "price": item["max_bid"] * self.price_factor,
+            "nb_of_bids": item["nb_of_bids"],
+            "buy_now_price": item["buy_now_price"] * self.price_factor,
+            "closed": False,
+        }
+
+    def list_past_auctions(self, ctx):
+        yield from ctx.consume(0.001)
+        rows = yield from ctx.call("OldItem", "recent_old_items")
+        return rows
+
+
+class ViewUserInfoBean(StatelessSessionBean):
+    def info(self, ctx, user_id):
+        yield from ctx.consume(0.001)
+        user = yield from ctx.call("User", "get_user", user_id)
+        feedback = yield from ctx.call("UserFeedback", "feedback_for_user", user_id)
+        return {
+            "user_id": user["id"],
+            "nickname": user["nickname"],
+            "rating": user["rating"],
+            "feedback_count": len(feedback),
+        }
+
+
+class ViewBidHistoryBean(StatelessSessionBean):
+    def history(self, ctx, item_id):
+        yield from ctx.consume(0.001)
+        bids = yield from ctx.call("Bid", "bids_for_item", item_id)
+        bidders = []
+        for bid in bids[:3]:  # resolve the top bidders' nicknames
+            user = yield from ctx.call("User", "get_user", bid["user_id"])
+            bidders.append(user["nickname"])
+        return {"item_id": item_id, "bids": bids, "top_bidders": bidders}
+
+
+class AboutMeBean(StatelessSessionBean):
+    """The customized information summary screen (§3.3)."""
+
+    def summary(self, ctx, user_id):
+        yield from ctx.consume(0.002)
+        user = yield from ctx.call("User", "get_user", user_id)
+        bids = yield from ctx.call("Bid", "bids_by_user", user_id)
+        buys = yield from ctx.call("BuyNow", "buys_by_user", user_id)
+        selling = yield from ctx.call("Item", "items_by_seller", user_id)
+        feedback = yield from ctx.call("UserFeedback", "feedback_for_user", user_id)
+        return {
+            "user_id": user["id"],
+            "nickname": user["nickname"],
+            "rating": user["rating"],
+            "bid_count": len(bids),
+            "buy_count": len(buys),
+            "selling_count": len(selling),
+            "feedback_count": len(feedback),
+        }
+
+
+class MakeBidBean(StatelessSessionBean):
+    def prepare(self, ctx, item_id):
+        yield from ctx.consume(0.001)
+        item = yield from ctx.call("Item", "get_item", item_id)
+        if item is None:
+            raise self.app_error(f"cannot bid on missing item {item_id}")
+        return {
+            "item_id": item["id"],
+            "current_bid": item["max_bid"],
+            "nb_of_bids": item["nb_of_bids"],
+        }
+
+
+class CommitBidBean(StatelessSessionBean):
+    """The commit point of the place-bid action ("place bid on item X",
+    §3.3's example of a session bean spanning User, Item, and Bid).
+
+    ``min_increment`` is an instance attribute targeted by fault
+    injection: a *wrong* (zero) value silently accepts bids that a healthy
+    instance rejects, committing incorrect dollar amounts to the database.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.min_increment = 1
+
+    def commit(self, ctx, user_id, item_id, amount):
+        yield from ctx.consume(0.002)
+        item = yield from ctx.call("Item", "get_item", item_id)
+        if item is None:
+            raise self.app_error(f"no such item {item_id}")
+        if amount < item["max_bid"] + self.min_increment:
+            return {"accepted": False, "item_id": item_id, "amount": amount}
+        bid_id = yield from ctx.call("IdentityManager", "next_id", "bids")
+        yield from ctx.call("Bid", "create_bid", bid_id, user_id, item_id, amount)
+        yield from ctx.call("Item", "record_bid", item_id, amount)
+        return {"accepted": True, "bid_id": bid_id, "item_id": item_id,
+                "amount": amount}
+
+
+class DoBuyNowBean(StatelessSessionBean):
+    def prepare(self, ctx, item_id):
+        yield from ctx.consume(0.001)
+        item = yield from ctx.call("Item", "get_item", item_id)
+        if item is None:
+            raise self.app_error(f"cannot buy missing item {item_id}")
+        return {
+            "item_id": item["id"],
+            "buy_now_price": item["buy_now_price"],
+            "quantity": item["quantity"],
+        }
+
+
+class CommitBuyNowBean(StatelessSessionBean):
+    def commit(self, ctx, user_id, item_id):
+        yield from ctx.consume(0.002)
+        item = yield from ctx.call("Item", "get_item", item_id)
+        if item is None or item["quantity"] < 1:
+            # Sold out is a business outcome, not a failure.
+            return {"sold_out": True, "item_id": item_id, "buy_id": None}
+        buy_id = yield from ctx.call("IdentityManager", "next_id", "buys")
+        yield from ctx.call("BuyNow", "create_buy", buy_id, user_id, item_id)
+        yield from ctx.call("Item", "consume_quantity", item_id)
+        return {"buy_id": buy_id, "item_id": item_id}
+
+
+class RegisterNewItemBean(StatelessSessionBean):
+    def register(self, ctx, seller_id, name, category_id, region_id,
+                 initial_price):
+        yield from ctx.consume(0.002)
+        item_id = yield from ctx.call("IdentityManager", "next_id", "items")
+        item = yield from ctx.call(
+            "Item", "create_item", item_id, name, seller_id, category_id,
+            region_id, initial_price,
+        )
+        return {"item_id": item["id"], "name": item["name"]}
+
+
+class RegisterNewUserBean(StatelessSessionBean):
+    def register(self, ctx, nickname, password, region_id):
+        yield from ctx.consume(0.002)
+        user_id = yield from ctx.call("IdentityManager", "next_id", "users")
+        user = yield from ctx.call(
+            "User", "create_user", user_id, nickname, password, region_id
+        )
+        return {"user_id": user["id"], "nickname": user["nickname"]}
+
+
+class LeaveUserFeedbackBean(StatelessSessionBean):
+    def prepare(self, ctx, to_user_id):
+        yield from ctx.consume(0.001)
+        user = yield from ctx.call("User", "get_user", to_user_id)
+        return {"to_user_id": user["id"], "nickname": user["nickname"]}
+
+
+class CommitUserFeedbackBean(StatelessSessionBean):
+    def commit(self, ctx, from_user_id, to_user_id, rating, comment):
+        yield from ctx.consume(0.002)
+        feedback_id = yield from ctx.call("IdentityManager", "next_id", "feedback")
+        yield from ctx.call(
+            "UserFeedback", "create_feedback", feedback_id, from_user_id,
+            to_user_id, rating, comment,
+        )
+        yield from ctx.call("User", "apply_rating", to_user_id, rating)
+        return {"feedback_id": feedback_id, "to_user_id": to_user_id}

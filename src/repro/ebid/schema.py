@@ -1,0 +1,194 @@
+"""eBid's database schema and dataset generator.
+
+The paper's dataset is 132 K items, 1.5 M bids, and 10 K users.  The default
+here preserves those ratios (≈13 items and ≈150 bids per user) at 1/100
+scale so experiments are fast; ``DatasetConfig(scale=100)`` reproduces the
+paper's sizes when you want them.
+"""
+
+from dataclasses import dataclass
+
+#: All persistent tables, in creation order.
+TABLES = (
+    "users",
+    "items",
+    "categories",
+    "regions",
+    "bids",
+    "buys",
+    "old_items",
+    "feedback",
+    "id_sequences",
+)
+
+#: Tables IdentityManager issues primary keys for.
+KEYED_TABLES = ("users", "items", "bids", "buys", "old_items", "feedback")
+
+CATEGORY_NAMES = (
+    "Antiques", "Books", "Business", "Clothing", "Computers", "Electronics",
+    "Garden", "Jewelry", "Movies", "Music", "Photography", "Sports",
+    "Stamps", "Tickets", "Toys", "Travel", "Art", "Coins", "Crafts", "Dolls",
+)
+
+REGION_NAMES = (
+    "AZ-Phoenix", "CA-Los-Angeles", "CA-San-Francisco", "CO-Denver",
+    "FL-Miami", "GA-Atlanta", "IL-Chicago", "MA-Boston", "NY-New-York",
+    "WA-Seattle",
+)
+
+
+@dataclass
+class DatasetConfig:
+    """Sizing knobs for the generated dataset.
+
+    ``scale=1`` is the default laptop-friendly dataset; ``scale=100``
+    matches the paper's 10 K users / 132 K items / 1.5 M bids.
+    """
+
+    users: int = 100
+    items: int = 1320
+    bids: int = 15000
+    buys: int = 120
+    old_items: int = 130
+    feedback: int = 200
+    categories: int = len(CATEGORY_NAMES)
+    regions: int = len(REGION_NAMES)
+
+    @classmethod
+    def scaled(cls, scale):
+        return cls(
+            users=100 * scale,
+            items=1320 * scale,
+            bids=15000 * scale,
+            buys=120 * scale,
+            old_items=130 * scale,
+            feedback=200 * scale,
+        )
+
+    @classmethod
+    def tiny(cls):
+        """A minimal dataset for fast unit tests."""
+        return cls(users=10, items=40, bids=120, buys=5, old_items=8, feedback=10)
+
+
+def create_schema(database):
+    """Create every eBid table."""
+    for table in TABLES:
+        database.create_table(table)
+
+
+def populate_dataset(database, rng, config=None):
+    """Fill the schema with a deterministic synthetic dataset.
+
+    ``rng`` is a :class:`random.Random`; the same seed yields the same
+    dataset, which the comparison-based failure detector (§4) relies on to
+    keep the known-good shadow instance in lockstep.
+    """
+    config = config or DatasetConfig()
+    if config.categories > len(CATEGORY_NAMES) or config.regions > len(REGION_NAMES):
+        raise ValueError("dataset config exceeds the available name pools")
+
+    for i in range(config.regions):
+        database.insert("regions", {"id": i + 1, "name": REGION_NAMES[i]})
+    for i in range(config.categories):
+        database.insert("categories", {"id": i + 1, "name": CATEGORY_NAMES[i]})
+
+    for i in range(config.users):
+        user_id = i + 1
+        database.insert(
+            "users",
+            {
+                "id": user_id,
+                "nickname": f"user{user_id}",
+                "password": f"pw{user_id}",
+                "rating": rng.randint(0, 50),
+                "balance": 0,
+                "region_id": rng.randint(1, config.regions),
+            },
+        )
+
+    for i in range(config.items):
+        item_id = i + 1
+        initial = rng.randint(1, 500)
+        database.insert(
+            "items",
+            {
+                "id": item_id,
+                "name": f"item{item_id}",
+                "seller_id": rng.randint(1, config.users),
+                "category_id": rng.randint(1, config.categories),
+                "region_id": rng.randint(1, config.regions),
+                "initial_price": initial,
+                "max_bid": initial,
+                "nb_of_bids": 0,
+                "quantity": rng.randint(1, 5),
+                "buy_now_price": initial * 2,
+            },
+        )
+
+    for i in range(config.bids):
+        bid_id = i + 1
+        item_id = rng.randint(1, config.items)
+        item = database.read("items", item_id)
+        amount = item["max_bid"] + rng.randint(1, 10)
+        database.insert(
+            "bids",
+            {
+                "id": bid_id,
+                "user_id": rng.randint(1, config.users),
+                "item_id": item_id,
+                "amount": amount,
+                "quantity": 1,
+            },
+        )
+        database.update(
+            "items",
+            item_id,
+            {"max_bid": amount, "nb_of_bids": item["nb_of_bids"] + 1},
+        )
+
+    for i in range(config.buys):
+        database.insert(
+            "buys",
+            {
+                "id": i + 1,
+                "buyer_id": rng.randint(1, config.users),
+                "item_id": rng.randint(1, config.items),
+                "quantity": 1,
+            },
+        )
+
+    for i in range(config.old_items):
+        database.insert(
+            "old_items",
+            {
+                "id": i + 1,
+                "name": f"olditem{i + 1}",
+                "seller_id": rng.randint(1, config.users),
+                "final_price": rng.randint(1, 1000),
+            },
+        )
+
+    for i in range(config.feedback):
+        database.insert(
+            "feedback",
+            {
+                "id": i + 1,
+                "from_user_id": rng.randint(1, config.users),
+                "to_user_id": rng.randint(1, config.users),
+                "rating": rng.choice((-1, 0, 1)),
+                "comment": f"comment{i + 1}",
+            },
+        )
+
+    # Seed the shared id_sequences table (IdentityManager claims key blocks
+    # from it, so multiple cluster nodes never hand out colliding keys).
+    for i, table in enumerate(KEYED_TABLES):
+        database.insert(
+            "id_sequences",
+            {
+                "id": i + 1,
+                "relation": table,
+                "next_value": database.max_pk(table) + 1,
+            },
+        )

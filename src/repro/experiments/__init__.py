@@ -1,0 +1,27 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes ``run(...) -> ExperimentResult`` with laptop-friendly
+defaults and a ``full=True`` switch for paper-scale parameters, and the
+result's ``render()`` prints rows/series mirroring the paper's
+presentation.  ``EXPERIMENTS.md`` records paper-versus-measured values.
+
+| Experiment | Module |
+|---|---|
+| Table 1 (workload mix)                | :mod:`repro.experiments.table1` |
+| Table 2 (fault → reboot level)        | :mod:`repro.experiments.table2` |
+| Table 3 (recovery times)              | :mod:`repro.experiments.table3` |
+| Table 4 (>8 s requests at 2× load)    | :mod:`repro.experiments.table4` |
+| Table 5 (fault-free performance)      | :mod:`repro.experiments.table5` |
+| Table 6 (Retry-After masking)         | :mod:`repro.experiments.table6` |
+| Figure 1 (Taw: restart vs µRB)        | :mod:`repro.experiments.figure1` |
+| Figure 2 (functional disruption)      | :mod:`repro.experiments.figure2` |
+| Figure 3 (failover, normal load)      | :mod:`repro.experiments.figure3` |
+| Figure 4 (response time, 2× load)     | :mod:`repro.experiments.figure4` |
+| Figure 5 (lax detection)              | :mod:`repro.experiments.figure5` |
+| Figure 6 (microrejuvenation)          | :mod:`repro.experiments.figure6` |
+| §5.3/§6.1 six-nines arithmetic        | :mod:`repro.experiments.availability` |
+"""
+
+from repro.experiments.common import ExperimentResult, SingleNodeRig
+
+__all__ = ["ExperimentResult", "SingleNodeRig"]

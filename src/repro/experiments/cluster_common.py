@@ -1,0 +1,97 @@
+"""Shared scaffolding for the cluster experiments (§5.3)."""
+
+from repro.cluster.cluster import build_cluster
+from repro.cluster.load_balancer import FailoverMode
+from repro.faults.injector import FaultInjector
+from repro.workload.client import ClientPopulation
+from repro.workload.markov import WorkloadProfile
+
+
+class ClusterRig:
+    """N nodes + load balancer + clients, with scripted recovery."""
+
+    def __init__(
+        self,
+        n_nodes,
+        clients_per_node,
+        seed=0,
+        session_store="fasts",
+        dataset=None,
+        retry_policy=None,
+    ):
+        self.cluster = build_cluster(
+            n_nodes,
+            seed=seed,
+            session_store=session_store,
+            dataset=dataset,
+            retry_policy=retry_policy,
+        )
+        self.kernel = self.cluster.kernel
+        self.reports = []
+        self.population = ClientPopulation(
+            self.kernel,
+            self.cluster.load_balancer,
+            self.cluster.dataset,
+            n_clients=n_nodes * clients_per_node,
+            rng_registry=self.cluster.rng,
+            profile=WorkloadProfile(),
+            reporter=self.reports.append,
+        )
+        self.metrics = self.population.metrics
+
+    def start(self, warmup=0.0):
+        self.population.start()
+        if warmup:
+            self.kernel.run(until=self.kernel.now + warmup)
+
+    def run_for(self, seconds):
+        self.kernel.run(until=self.kernel.now + seconds)
+
+    def injector_for(self, node_index):
+        return FaultInjector(self.cluster.nodes[node_index].system)
+
+    # ------------------------------------------------------------------
+    def script_recovery(
+        self,
+        bad_node,
+        recovery,  # "microreboot" or "process-restart"
+        components=("BrowseCategories",),
+        failover=FailoverMode.FULL,
+        detection_threshold=6,
+        inject_at=None,
+    ):
+        """Spawn a watcher that performs one recovery once failures appear.
+
+        Mirrors §5.3's flow: detectors report failures; when the RM decides
+        to recover, it first notifies the LB (failover begins), recovers
+        the node, then notifies the LB again (affinity restored).  Returns
+        a dict filled with recovery timestamps.
+        """
+        outcome = {"recovered_at": None, "detected_at": None}
+        balancer = self.cluster.load_balancer
+
+        def watcher():
+            while True:
+                fresh = [
+                    r for r in self.reports
+                    if inject_at is None or r.time >= inject_at
+                ]
+                if len(fresh) >= detection_threshold:
+                    break
+                yield self.kernel.timeout(0.5)
+            outcome["detected_at"] = self.kernel.now
+            if failover is not FailoverMode.NONE:
+                balancer.begin_failover(
+                    bad_node, mode=failover, components=components
+                )
+            if recovery == "microreboot":
+                yield from bad_node.system.coordinator.microreboot(
+                    list(components)
+                )
+            else:
+                yield from bad_node.restart_jvm()
+            balancer.end_failover(bad_node)
+            outcome["recovered_at"] = self.kernel.now
+
+        self.kernel.process(watcher(), name="recovery-script")
+        return outcome

@@ -1,0 +1,181 @@
+"""Shared experiment scaffolding."""
+
+from dataclasses import dataclass, field
+
+from repro.cluster.node import Node
+from repro.core.recovery_manager import RecoveryManager
+from repro.core.retry import RetryPolicy
+from repro.detection.comparison import ComparisonDetector
+from repro.ebid.app import build_ebid_system
+from repro.ebid.descriptors import URL_PATH_MAP
+from repro.ebid.schema import DatasetConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.lowlevel import LowLevelInjector
+from repro.workload.client import ClientPopulation
+from repro.workload.markov import WorkloadProfile
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result container for every table/figure harness."""
+
+    name: str
+    paper_reference: str
+    headers: tuple = ()
+    rows: list = field(default_factory=list)
+    series: dict = field(default_factory=dict)
+    notes: list = field(default_factory=list)
+    #: label -> pre-rendered ASCII chart (see repro.experiments.plotting).
+    figures: dict = field(default_factory=dict)
+
+    def render(self):
+        """Text rendering that mirrors the paper's table/figure."""
+        lines = [f"== {self.name} ==", f"(reproduces {self.paper_reference})", ""]
+        if self.headers and self.rows:
+            widths = [
+                max(len(str(h)), *(len(str(r[i])) for r in self.rows))
+                for i, h in enumerate(self.headers)
+            ]
+            header = "  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths))
+            lines.append(header)
+            lines.append("-" * len(header))
+            for row in self.rows:
+                lines.append(
+                    "  ".join(str(v).ljust(w) for v, w in zip(row, widths))
+                )
+        for label, points in self.series.items():
+            lines.append(f"series {label}: {len(points)} points")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for label, chart in self.figures.items():
+            lines.append("")
+            lines.append(f"--- {label} ---")
+            lines.append(chart)
+        return "\n".join(lines)
+
+
+class SingleNodeRig:
+    """One eBid node + clients + injectors + (optionally) a recovery manager.
+
+    The standard single-node evaluation setup of §5.1/§5.2: 500 concurrent
+    clients against one application-server node, with client-side failure
+    detection feeding an external recovery manager.
+    """
+
+    def __init__(
+        self,
+        seed=0,
+        n_clients=500,
+        session_store="fasts",
+        dataset=None,
+        retry_policy=None,
+        with_recovery_manager=True,
+        with_comparison_detector=False,
+        recovery_policy="recursive",
+        profile=None,
+        heap=None,
+        rm_kwargs=None,
+    ):
+        self.dataset = dataset or DatasetConfig()
+        self.system = build_ebid_system(
+            seed=seed,
+            session_store=session_store,
+            dataset=self.dataset,
+            retry_policy=retry_policy or RetryPolicy.disabled(),
+        )
+        if heap is not None:
+            self.system.server.heap = heap
+        self.kernel = self.system.kernel
+        self.node = Node(self.system)
+        self.injector = FaultInjector(self.system)
+        self.lowlevel = LowLevelInjector(
+            self.system, self.system.rng.stream("lowlevel")
+        )
+
+        self.shadow = None
+        comparison = None
+        if with_comparison_detector:
+            self.shadow = build_ebid_system(
+                kernel=self.kernel,
+                seed=seed,
+                session_store=session_store,
+                dataset=self.dataset,
+                name="shadow",
+            )
+            comparison = ComparisonDetector(self.shadow)
+
+        self.recovery_manager = None
+        if with_recovery_manager:
+            # Hand-tuned thresholds (§4): high enough that the bounded
+            # burst of login prompts after a session-destroying recovery
+            # decays below threshold within the grace period, low enough
+            # that genuine faults are caught within seconds at 500 clients.
+            tuned = dict(score_threshold=6.0, post_recovery_grace=90.0)
+            tuned.update(rm_kwargs or {})
+            self.recovery_manager = RecoveryManager(
+                self.kernel,
+                self.system.coordinator,
+                URL_PATH_MAP,
+                node_controller=self.node,
+                policy=recovery_policy,
+                **tuned,
+            )
+            self.recovery_manager.start()
+            if self.shadow is not None:
+                # The shadow legitimately diverges once the faulty instance
+                # starts failing; resync it after each recovery so the
+                # comparison detector's false-positive rate stays bounded
+                # (the paper's "tweaks for timing nondeterminism").
+                self.recovery_manager.listeners.append(
+                    lambda _action: self.resync_shadow()
+                )
+
+        reporter = self.recovery_manager.report if self.recovery_manager else None
+        self.population = ClientPopulation(
+            self.kernel,
+            self.system.server,
+            self.dataset,
+            n_clients=n_clients,
+            rng_registry=self.system.rng,
+            profile=profile or WorkloadProfile(),
+            reporter=reporter,
+            comparison=comparison,
+        )
+        self.metrics = self.population.metrics
+
+    # ------------------------------------------------------------------
+    def start(self, warmup=0.0):
+        """Spawn the clients; optionally run a warm-up period."""
+        self.population.start()
+        if warmup:
+            self.kernel.run(until=self.kernel.now + warmup)
+
+    def run_for(self, seconds):
+        self.kernel.run(until=self.kernel.now + seconds)
+
+    def resync_shadow(self):
+        """Re-baseline the known-good instance after a recovery.
+
+        The shadow diverges legitimately while the main instance is
+        failing (its commits succeed where the main's did not); once the
+        main recovers, the shadow's database is reset to the main's and
+        the shadow's rendered-fragment cache is flushed so it does not
+        keep serving prices computed from pre-resync data.
+        """
+        if self.shadow is None:
+            return
+        for name, table in self.system.database.tables.items():
+            self.shadow.database.tables[name].replace_all(table.rows)
+        # Volatile component state derived from the database (key-block
+        # cursors, caches) must be rebuilt against the synced data, or the
+        # shadow's IdentityManager would hand out keys that now collide.
+        for container in self.shadow.server.containers.values():
+            container.initialize()
+            self.shadow.server.naming.bind(container.name, container.name)
+
+    def failures_in_last(self, seconds):
+        """Failed requests recorded in the trailing window."""
+        now = self.kernel.now
+        _good, bad = self.metrics.requests_in_window(now - seconds, now)
+        return bad
+

@@ -1,0 +1,82 @@
+"""Terminal-friendly renderings of the paper's figures.
+
+The experiment harnesses return numeric series; these helpers draw them as
+ASCII charts so ``benchmarks/results/*.txt`` contains not just the numbers
+but a recognizable picture of each figure — the Taw dips of Figure 1, the
+response-time spike of Figure 4, the memory sawtooth of Figure 6.
+"""
+
+
+def ascii_timeseries(series, width=78, height=12, label="", y_format="{:.0f}"):
+    """Render {x: y} as a fixed-size ASCII chart (rows of '▮' columns).
+
+    Points are bucketed into ``width`` columns (averaging within a bucket)
+    and scaled to ``height`` rows.  Returns a multi-line string.
+    """
+    if not series:
+        return f"{label}(no data)"
+    xs = sorted(series)
+    x_min, x_max = xs[0], xs[-1]
+    span = max(x_max - x_min, 1e-9)
+    columns = [[] for _ in range(width)]
+    for x in xs:
+        index = min(int((x - x_min) / span * (width - 1)), width - 1)
+        columns[index].append(series[x])
+    values = [
+        sum(bucket) / len(bucket) if bucket else None for bucket in columns
+    ]
+    present = [v for v in values if v is not None]
+    y_max = max(present)
+    y_min = min(0.0, min(present))
+    y_span = max(y_max - y_min, 1e-9)
+
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = y_min + y_span * (level - 0.5) / height
+        line = "".join(
+            " " if v is None else ("▮" if v >= threshold else " ")
+            for v in values
+        )
+        rows.append(line)
+    top = y_format.format(y_max)
+    bottom = y_format.format(y_min)
+    header = f"{label}  (y: {bottom}..{top}, x: {x_min:.0f}..{x_max:.0f})"
+    axis = "-" * width
+    return "\n".join([header, *rows, axis])
+
+
+def ascii_gap_chart(groups_to_spans, window, width=78):
+    """Render Figure 2: one row per functional group, gaps where requests
+    failed (solid bar = available, blank = unavailable)."""
+    start, end = window
+    span = max(end - start, 1e-9)
+    lines = []
+    name_width = max((len(g) for g in groups_to_spans), default=0)
+    for group, spans in groups_to_spans.items():
+        cells = ["▮"] * width
+        for s, e in spans:
+            lo = max(int((s - start) / span * width), 0)
+            hi = min(int((e - start) / span * width) + 1, width)
+            for i in range(lo, hi):
+                cells[i] = " "
+        lines.append(f"{group.rjust(name_width)} |{''.join(cells)}|")
+    lines.append(
+        f"{' ' * name_width}  t={start:.0f}s{' ' * (width - 12)}t={end:.0f}s"
+    )
+    return "\n".join(lines)
+
+
+def ascii_bars(items, width=50, label="", value_format="{:.0f}"):
+    """Horizontal bar chart for {name: value} comparisons."""
+    if not items:
+        return f"{label}(no data)"
+    peak = max(items.values()) or 1
+    name_width = max(len(str(name)) for name in items)
+    lines = [label] if label else []
+    for name, value in items.items():
+        bar = "▮" * max(1 if value > 0 else 0, int(value / peak * width))
+        lines.append(
+            f"{str(name).rjust(name_width)} |{bar.ljust(width)}| "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)

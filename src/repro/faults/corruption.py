@@ -1,0 +1,16 @@
+"""The paper's three data-corruption modes (§5.1).
+
+"(a) set a value to null, which will generally elicit a
+NullPointerException upon access; (b) set an invalid value, i.e., a
+non-null value that type-checks but is invalid from the application's point
+of view ...; and (c) set to a wrong value, which is valid from the
+application's point of view, but incorrect."
+"""
+
+import enum
+
+
+class CorruptionMode(enum.Enum):
+    NULL = "null"
+    INVALID = "invalid"
+    WRONG = "wrong"

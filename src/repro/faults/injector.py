@@ -1,0 +1,227 @@
+"""Application-level fault injection hooks (§5.1).
+
+Behavioural faults (deadlock, infinite loop, leak, transient exception) are
+installed as container invocation hooks — they live in the component's
+volatile state and vanish when a microreboot rebuilds the container.
+Corruption faults mutate real metadata and store contents.
+"""
+
+from repro.appserver.descriptors import TxAttribute
+from repro.appserver.errors import ApplicationException
+from repro.faults.corruption import CorruptionMode
+from repro.sim.resources import Lock
+
+
+class FaultInjector:
+    """Injects the paper's fault taxonomy into one eBid system."""
+
+    def __init__(self, system):
+        self.system = system
+        self.injected = []  # (fault name, target) log for experiments
+
+    @property
+    def server(self):
+        return self.system.server
+
+    @property
+    def kernel(self):
+        return self.system.kernel
+
+    def _container(self, component):
+        return self.server.containers[component]
+
+    def _log(self, fault, target):
+        self.injected.append((fault, target))
+
+    # ------------------------------------------------------------------
+    # Behavioural faults (cured by µRB because hooks live in the container)
+    # ------------------------------------------------------------------
+    def inject_deadlock(self, component):
+        """Every call to ``component`` blocks on a never-released lock.
+
+        Models a lock-ordering deadlock: the shepherd threads pile up until
+        their request leases expire or a microreboot kills them.
+        """
+        lock = Lock(self.kernel, name=f"deadlock@{component}")
+        lock.owner = "<deadlocked-peer>"  # held by the other party, forever
+
+        def hook(container, ctx, method):
+            yield lock.acquire(ctx)
+
+        self._container(component).invocation_hooks.append(hook)
+        self._log("deadlock", component)
+
+    def inject_infinite_loop(self, component):
+        """Calls to ``component`` spin forever, burning CPU (a hog)."""
+        cpu = self.server.cpu
+
+        def hook(container, ctx, method):
+            cpu.add_hog()
+            try:
+                yield self.kernel.event()  # spins until the thread is killed
+            finally:
+                cpu.remove_hog()
+
+        self._container(component).invocation_hooks.append(hook)
+        self._log("infinite-loop", component)
+
+    def inject_memory_leak(self, component, bytes_per_invocation):
+        """Each call to ``component`` leaks heap memory attributed to it.
+
+        Unlike the other behavioural faults, a leak is a bug in the
+        component's *code*: a microreboot reclaims what has leaked so far
+        (the discarded instances' object graphs become garbage) but does
+        not stop future invocations from leaking — which is why the
+        rejuvenation service of §6.4 has to keep cycling.
+        """
+        heap = self.server.heap
+
+        def hook(container, ctx, method):
+            heap.leak(component, bytes_per_invocation)
+            return
+            yield  # pragma: no cover - generator marker
+
+        self._container(component).persistent_invocation_hooks.append(hook)
+        self._log("memory-leak", component)
+
+    def inject_transient_exception(self, component):
+        """Every call to ``component`` raises until the component reboots."""
+
+        def hook(container, ctx, method):
+            raise ApplicationException(
+                component, "injected transient exception"
+            )
+            yield  # pragma: no cover - generator marker
+
+        self._container(component).invocation_hooks.append(hook)
+        self._log("transient-exception", component)
+
+    # ------------------------------------------------------------------
+    # Volatile-metadata corruption
+    # ------------------------------------------------------------------
+    def corrupt_primary_keys(self, mode):
+        """Corrupt IdentityManager's in-memory key counters.
+
+        null → key generation NPEs; invalid → generated keys fail the
+        database's type check; wrong → the bids/feedback counters are
+        swapped, eliciting duplicate-key failures on bids and committing
+        feedback rows under out-of-range ids (manual repair — Table 2 ≈).
+        """
+        container = self._container("IdentityManager")
+        for instance in container.instances:
+            if mode is CorruptionMode.NULL:
+                instance._next = None
+            elif mode is CorruptionMode.INVALID:
+                # Non-null, numeric-looking, but not a legal key type: the
+                # database's schema check rejects the generated keys.
+                instance._next = {
+                    table: [-99999.5, -99000.5] for table in instance._next
+                }
+            else:
+                # Wrong-but-valid: the bids cursor is reset into the range
+                # of already-used keys (duplicate-key failures), while the
+                # feedback cursor jumps to a far-future block (inserts
+                # succeed with out-of-range ids — durable damage needing
+                # manual repair, Table 2's ≈).
+                instance._next["bids"] = [100, 600]
+                instance._next["feedback"] = [50_000, 50_500]
+        self._log(f"pk-{mode.value}", "IdentityManager")
+
+    def corrupt_jndi(self, component, mode):
+        """Corrupt the JNDI repository entry for ``component``."""
+        naming = self.server.naming
+        if mode is CorruptionMode.NULL:
+            naming._corrupt(component, None)
+        elif mode is CorruptionMode.INVALID:
+            naming._corrupt(component, "container-that-does-not-exist")
+        else:
+            others = [n for n in naming.bound_names() if n != component]
+            # Deterministic "wrong" target: the lexicographically-nearest
+            # other container.
+            naming._corrupt(component, sorted(others)[0])
+        self._log(f"jndi-{mode.value}", component)
+
+    def corrupt_tx_method_map(self, component, method, mode):
+        """Corrupt one entry of a container's transaction method map."""
+        container = self._container(component)
+        if method not in container.tx_method_map:
+            raise KeyError(f"{component} has no tx attribute for {method!r}")
+        if mode is CorruptionMode.NULL:
+            container.tx_method_map[method] = None
+        elif mode is CorruptionMode.INVALID:
+            container.tx_method_map[method] = "NotAnAttribute"
+        else:
+            declared = container.descriptor.tx_methods[method]
+            wrong = (
+                TxAttribute.NOT_SUPPORTED
+                if declared is not TxAttribute.NOT_SUPPORTED
+                else TxAttribute.REQUIRED
+            )
+            container.tx_method_map[method] = wrong
+        self._log(f"txmap-{mode.value}", f"{component}.{method}")
+
+    def corrupt_session_bean_attribute(self, mode):
+        """Corrupt stateless-session-bean instance attributes.
+
+        null/invalid hit one CommitBid instance (expunged naturally after
+        its first failed call); wrong zeroes CommitBid's ``min_increment``
+        (bad dollar amounts reach the database) *and* breaks ViewItem's
+        ``price_factor`` (wrong prices, which the WAR caches — EJB+WAR).
+        """
+        commit_bid = self._container("CommitBid").instances[0]
+        if mode is CorruptionMode.NULL:
+            commit_bid.min_increment = None
+        elif mode is CorruptionMode.INVALID:
+            commit_bid.min_increment = "not-a-number"
+        else:
+            for instance in self._container("CommitBid").instances:
+                instance.min_increment = 0
+            for instance in self._container("ViewItem").instances:
+                instance.price_factor = 100
+        self._log(f"bean-attr-{mode.value}", "CommitBid/ViewItem")
+
+    # ------------------------------------------------------------------
+    # State-store corruption
+    # ------------------------------------------------------------------
+    def corrupt_session_store(self, mode, session_ids=None):
+        """Bit-flip session objects inside FastS (or SSM).
+
+        Operates on the raw stored objects: with FastS the damage reaches
+        the application; with SSM the checksum catches it on read.
+        """
+        store = self.server.session_store
+        ids = list(session_ids or store.session_ids())
+        if not ids:
+            raise ValueError("no sessions to corrupt; log someone in first")
+        if mode is CorruptionMode.NULL:
+            for session_id in ids:
+                store._raw(session_id).attributes = None
+        elif mode is CorruptionMode.INVALID:
+            for session_id in ids:
+                store._raw(session_id).user_id = -424242
+        else:
+            if len(ids) < 2:
+                raise ValueError("wrong-mode swap needs two sessions")
+            for first_id, second_id in zip(ids[0::2], ids[1::2]):
+                first, second = store._raw(first_id), store._raw(second_id)
+                first.attributes, second.attributes = (
+                    second.attributes, first.attributes,
+                )
+        self._log(f"session-store-{mode.value}", store.name)
+        return ids
+
+    def corrupt_database(self, table="items", mode=CorruptionMode.WRONG):
+        """Manually alter table contents (Table 2's bottom app-data row)."""
+        database = self.system.database
+        rows = sorted(database.tables[table].rows)
+        if not rows:
+            raise ValueError(f"table {table} is empty")
+        pk = rows[len(rows) // 2]
+        if mode is CorruptionMode.NULL:
+            database._corrupt_row(table, pk, "name", None)
+        elif mode is CorruptionMode.INVALID:
+            database._corrupt_row(table, pk, "max_bid", "garbage")
+        else:
+            database._corrupt_row(table, pk, "max_bid", 999999)
+        self._log(f"database-{mode.value}", f"{table}:{pk}")
+        return pk

@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate for the whole reproduction: the application
+server, state stores, clients, fault injectors, and recovery managers are all
+simulated processes advancing a shared virtual clock.  Processes are plain
+Python generators that ``yield`` :class:`Event` objects; the kernel resumes
+them when those events trigger.  Processes can be *interrupted*, which is how
+a microreboot kills the shepherd threads executing inside a component.
+
+The design follows the well-understood SimPy model but is implemented from
+scratch so the reproduction has no dependencies beyond the standard library.
+"""
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+from repro.sim.resources import Lock, Queue, Semaphore
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Kernel",
+    "Lock",
+    "Process",
+    "Queue",
+    "RngRegistry",
+    "Semaphore",
+    "SimulationError",
+    "Timeout",
+]

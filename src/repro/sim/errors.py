@@ -1,0 +1,30 @@
+"""Exception types used by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel itself.
+
+    Examples: triggering an event twice, running a kernel backwards in time,
+    or yielding a non-event from a process.
+    """
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted.
+
+    The microreboot machinery interrupts the shepherd threads executing
+    inside a component that is being recycled; those threads observe the
+    interrupt as this exception at their current ``yield`` point.
+
+    Attributes:
+        cause: arbitrary value supplied by the interrupter describing why
+            the process was interrupted (for a microreboot, the component
+            name being recycled).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self):
+        return f"Interrupt(cause={self.cause!r})"

@@ -1,0 +1,155 @@
+"""Events: the unit of synchronization between simulated processes."""
+
+from repro.sim.errors import SimulationError
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    triggers it, scheduling its callbacks to run at the current simulation
+    time (in FIFO order relative to other events triggered at the same
+    instant).  A process waits for an event simply by yielding it.
+
+    Attributes:
+        kernel: the :class:`~repro.sim.kernel.Kernel` this event belongs to.
+        callbacks: list of callables invoked with the event when it is
+            processed; ``None`` once the event has been processed.
+        defused: set to True when a failed event's exception has been
+            delivered to (and therefore handled by) a waiting process.
+            Failed events that are never defused are collected by the kernel
+            in ``kernel.unhandled_failures`` to aid debugging.
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.callbacks = []
+        self.defused = False
+        #: Set when the (sole) process waiting on this event was interrupted
+        #: away from it; resources use this to skip dead waiters.
+        self.abandoned = False
+        self._value = _PENDING
+        self._ok = None
+
+    @property
+    def triggered(self):
+        """True once the event has a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self):
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self):
+        """True if the event succeeded, False if it failed, None if pending."""
+        return self._ok
+
+    @property
+    def value(self):
+        """The event's value (or exception, for failed events)."""
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    def succeed(self, value=None):
+        """Trigger the event successfully with ``value``.
+
+        Returns the event so construction and triggering can be chained.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.kernel._schedule(self, 0.0)
+        return self
+
+    def fail(self, exception):
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() requires an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.kernel._schedule(self, 0.0)
+        return self
+
+    def __repr__(self):
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else f"failed({self._value!r})"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    def __init__(self, kernel, delay, value=None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(kernel)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        kernel._schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base for events composed of several sub-events."""
+
+    def __init__(self, kernel, events):
+        super().__init__(kernel)
+        self.events = list(events)
+        self._completed = 0
+        if not self.events:
+            self.succeed(self._snapshot())
+            return
+        for event in self.events:
+            if event.kernel is not kernel:
+                raise SimulationError("cannot mix events from different kernels")
+            if event.callbacks is None:
+                # Already processed: account for it immediately.
+                self._observe(event)
+            else:
+                event.callbacks.append(self._observe)
+
+    def _snapshot(self):
+        """Mapping of processed sub-events to their values, in yield order.
+
+        Uses ``processed`` rather than ``triggered`` because a Timeout has a
+        value from construction but has not *happened* until the kernel
+        processes it.
+        """
+        return {e: e._value for e in self.events if e.processed and e._ok}
+
+    def _observe(self, event):
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._completed += 1
+        if self._check():
+            self.succeed(self._snapshot())
+
+    def _check(self):
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any sub-event triggers (or fails on first failure)."""
+
+    def _check(self):
+        return self._completed >= 1
+
+
+class AllOf(_Condition):
+    """Triggers once every sub-event has triggered."""
+
+    def _check(self):
+        return self._completed >= len(self.events)

@@ -1,0 +1,44 @@
+"""Deterministic, named random-number streams.
+
+Every stochastic subsystem (each emulated client, the fault injector, service
+time sampling, ...) draws from its own named stream derived from a single
+root seed.  Adding clients or reordering subsystem start-up therefore does
+not perturb the random draws of unrelated subsystems, which keeps experiment
+configurations comparable across runs.
+"""
+
+import hashlib
+import random
+
+
+def derive_seed(root_seed, name):
+    """Derive a 64-bit child seed from ``root_seed`` and a stream name."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Factory and cache of named :class:`random.Random` streams."""
+
+    def __init__(self, root_seed=0):
+        self.root_seed = root_seed
+        self._streams = {}
+
+    def stream(self, name):
+        """Return the stream for ``name``, creating it on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(derive_seed(self.root_seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def exponential(self, name, mean, maximum=None):
+        """One draw from an exponential distribution, optionally capped.
+
+        The client emulator uses this for think times (mean 7 s, max 70 s,
+        as in the TPC-W benchmark the paper follows).
+        """
+        value = self.stream(name).expovariate(1.0 / mean)
+        if maximum is not None:
+            value = min(value, maximum)
+        return value

@@ -1,0 +1,41 @@
+"""Dedicated state stores (§2, "State segregation").
+
+Microreboots are safe only when all important state lives *outside* the
+application, behind strongly-enforced high-level APIs.  eBid keeps its three
+kinds of state in the three stores here:
+
+* long-term persistent data → :class:`~repro.stores.database.Database`
+  (the MySQL analogue: transactional, write-ahead-logged, crash-safe);
+* session state → :class:`~repro.stores.fasts.FastS` (in-JVM, fast,
+  survives µRBs but not JVM restarts) or :class:`~repro.stores.ssm.SSM`
+  (external, lease-based, checksummed, survives JVM restarts too);
+* static presentation data → :class:`~repro.stores.filesystem
+  .StaticContentStore` (read-only filesystem).
+"""
+
+from repro.stores.database import (
+    Database,
+    DatabaseDownError,
+    DatabaseError,
+    DuplicateKeyError,
+    SchemaError,
+)
+from repro.stores.fasts import FastS
+from repro.stores.filesystem import StaticContentStore
+from repro.stores.leases import LeaseTable
+from repro.stores.sessions import SessionCorruptionError, SessionData
+from repro.stores.ssm import SSM
+
+__all__ = [
+    "Database",
+    "DatabaseDownError",
+    "DatabaseError",
+    "DuplicateKeyError",
+    "FastS",
+    "LeaseTable",
+    "SSM",
+    "SchemaError",
+    "SessionCorruptionError",
+    "SessionData",
+    "StaticContentStore",
+]

@@ -1,0 +1,86 @@
+"""FastS: the in-JVM session state repository (§3.3).
+
+FastS lives inside the server's embedded web tier, "isolated behind
+compiler-enforced barriers": fast to access, survives microreboots of any
+component (it is not part of any component), but its contents are lost when
+the JVM process exits.  Reads return defensive copies and writes replace the
+stored object atomically — the API contract that lets the store take
+responsibility for its data.
+"""
+
+from repro.stores.sessions import SessionCorruptionError
+
+
+class FastS:
+    """In-memory HttpSession repository bound to one JVM."""
+
+    def __init__(self, name="FastS"):
+        self.name = name
+        self._sessions = {}
+        self.reads = 0
+        self.writes = 0
+
+    #: Survival semantics, consulted by experiments and docs.
+    survives_microreboot = True
+    survives_jvm_restart = False
+
+    def __len__(self):
+        return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Store API (atomic read/write of HttpSession objects)
+    # ------------------------------------------------------------------
+    def read(self, session_id):
+        """The stored session (a copy), or None if absent.
+
+        Unlike SSM, FastS has no checksums: a corrupted object is returned
+        as-is and fails later, inside the application — which is why
+        FastS-data corruption needs a WAR-level recovery (Table 2) rather
+        than being absorbed by the store.
+        """
+        self.reads += 1
+        data = self._sessions.get(session_id)
+        return data.copy() if data is not None else None
+
+    def write(self, session_id, data):
+        """Atomically replace the stored session object."""
+        self.writes += 1
+        self._sessions[session_id] = data.copy()
+
+    def delete(self, session_id):
+        self._sessions.pop(session_id, None)
+
+    def session_ids(self):
+        return list(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Lifecycle notifications
+    # ------------------------------------------------------------------
+    def notify_jvm_exit(self, server):
+        """The hosting JVM died: everything here is gone."""
+        self._sessions.clear()
+
+    def sweep_invalid(self):
+        """Validate every stored session, discarding corrupt ones.
+
+        The WAR runs this as part of its (re)initialization — recovering
+        from corrupted FastS data is what makes the Table 2 "corrupt data
+        inside FastS" rows WAR-level microreboots.
+        Returns the ids discarded.
+        """
+        discarded = []
+        for session_id, data in list(self._sessions.items()):
+            try:
+                data.validate()
+            except SessionCorruptionError:
+                del self._sessions[session_id]
+                discarded.append(session_id)
+        return discarded
+
+    # ------------------------------------------------------------------
+    # Fault-injection surface
+    # ------------------------------------------------------------------
+    def _raw(self, session_id):
+        """The live stored object (not a copy), for corruption by tests
+        and the fault injector."""
+        return self._sessions.get(session_id)

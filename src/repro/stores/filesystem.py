@@ -1,0 +1,40 @@
+"""Static presentation content store (the Ext3FS analogue).
+
+eBid keeps static presentation data — GIFs, HTML, JSPs — on a filesystem,
+optionally mounted read-only (§3.3).  Nothing here is mutable application
+state, so it needs no recovery machinery; the store exists so that the 12%
+static-content slice of the workload (Table 1) exercises a distinct path.
+"""
+
+
+class StaticContentStore:
+    """Read-only path → content mapping."""
+
+    def __init__(self, read_only=True):
+        self._files = {}
+        self.read_only = False  # writable while being populated
+        self.reads = 0
+        self._sealed_read_only = read_only
+
+    def publish(self, path, content):
+        """Add a static file (deploy-time only when read-only)."""
+        if self.read_only:
+            raise PermissionError(f"filesystem is mounted read-only: {path}")
+        self._files[path] = content
+
+    def seal(self):
+        """Finish population; remount read-only if configured."""
+        self.read_only = self._sealed_read_only
+
+    def read(self, path):
+        """File content; raises FileNotFoundError for unknown paths."""
+        self.reads += 1
+        if path not in self._files:
+            raise FileNotFoundError(path)
+        return self._files[path]
+
+    def exists(self, path):
+        return path in self._files
+
+    def paths(self):
+        return list(self._files)

@@ -1,0 +1,81 @@
+"""Session objects shared by the session state stores."""
+
+import hashlib
+
+
+class SessionCorruptionError(Exception):
+    """Raised when a session object fails structural validation on access."""
+
+    def __init__(self, session_id, reason):
+        super().__init__(f"session {session_id!r} corrupted: {reason}")
+        self.session_id = session_id
+        self.reason = reason
+
+
+class SessionData:
+    """One HttpSession: the per-user conversational state (§3.3).
+
+    eBid stores the logged-in userID and the items the user has selected
+    for bidding/buying/selling.  The object knows how to checksum itself
+    (SSM verifies the checksum on every read) and how to validate its own
+    structure (the WAR's post-µRB sweep discards sessions that fail).
+    """
+
+    def __init__(self, session_id, user_id):
+        self.session_id = session_id
+        self.user_id = user_id
+        self.attributes = {}
+        self.created_at = None
+        self.checksum = None
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def compute_checksum(self):
+        """Content hash over identity and attributes."""
+        material = repr((self.session_id, self.user_id, sorted(
+            (k, repr(v)) for k, v in (self.attributes or {}).items()
+        )))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def seal(self):
+        """Record the current checksum (done by SSM on write)."""
+        self.checksum = self.compute_checksum()
+        return self
+
+    def checksum_ok(self):
+        return self.checksum == self.compute_checksum()
+
+    def validate(self):
+        """Structural validation; raises :class:`SessionCorruptionError`.
+
+        Checks the invariants every legitimate eBid session satisfies:
+        the attribute map exists, the user id is a positive integer, and
+        the user id embedded in the attributes (written at login) matches
+        the object's identity.  *Null* and *invalid* corruptions fail the
+        first two checks; *wrong* corruptions (swapped identities) fail
+        the third.
+        """
+        if not isinstance(self.attributes, dict):
+            raise SessionCorruptionError(self.session_id, "attributes are null")
+        if not isinstance(self.user_id, int) or self.user_id <= 0:
+            raise SessionCorruptionError(
+                self.session_id, f"invalid user id {self.user_id!r}"
+            )
+        bound_user = self.attributes.get("user_id", self.user_id)
+        if bound_user != self.user_id:
+            raise SessionCorruptionError(
+                self.session_id,
+                f"identity mismatch: object says {self.user_id}, "
+                f"attributes say {bound_user}",
+            )
+
+    def copy(self):
+        clone = SessionData(self.session_id, self.user_id)
+        clone.attributes = dict(self.attributes) if isinstance(self.attributes, dict) else self.attributes
+        clone.created_at = self.created_at
+        clone.checksum = self.checksum
+        return clone
+
+    def __repr__(self):
+        return f"<SessionData {self.session_id!r} user={self.user_id!r}>"

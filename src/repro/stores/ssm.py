@@ -1,0 +1,93 @@
+"""SSM: the external, clustered session state store (§3.3, [26]).
+
+SSM runs on separate machines, "isolated by physical barriers": access is
+slower (marshalling plus a network round trip — charged by the caller using
+the timing model), but the state survives microreboots, JVM restarts, and
+node reboots.  The storage model is lease-based, so orphaned session state
+is garbage-collected automatically; objects are checksummed at write and
+verified at read, so corruption is "detected via checksum; bad object
+automatically discarded" (Table 2) with no reboot required.
+"""
+
+from repro.stores.leases import LeaseTable
+
+
+class SSM:
+    """Lease-based, checksummed session store outside the JVM."""
+
+    #: Session-state lease: "can be discarded when the user logs out or the
+    #: session times out".  30 minutes is the conventional web default.
+    DEFAULT_LEASE_TTL = 1800.0
+
+    def __init__(self, kernel, lease_ttl=DEFAULT_LEASE_TTL, name="SSM"):
+        self.kernel = kernel
+        self.name = name
+        self._sessions = {}
+        self.leases = LeaseTable(kernel, lease_ttl)
+        self.reads = 0
+        self.writes = 0
+        self.checksum_failures = 0
+
+    survives_microreboot = True
+    survives_jvm_restart = True
+
+    def __len__(self):
+        return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Store API
+    # ------------------------------------------------------------------
+    def read(self, session_id):
+        """The stored session (a copy) or None.
+
+        Expired leases and checksum mismatches both come back as None; the
+        bad/expired object is discarded, never handed to the application.
+        """
+        self.reads += 1
+        self._gc()
+        data = self._sessions.get(session_id)
+        if data is None:
+            return None
+        if not self.leases.is_live(session_id):
+            self._discard(session_id)
+            return None
+        if not data.checksum_ok():
+            self.checksum_failures += 1
+            self._discard(session_id)
+            return None
+        self.leases.renew(session_id)
+        return data.copy()
+
+    def write(self, session_id, data):
+        """Atomically store a sealed copy and (re)grant its lease."""
+        self.writes += 1
+        self._sessions[session_id] = data.copy().seal()
+        self.leases.grant(session_id)
+
+    def delete(self, session_id):
+        self._discard(session_id)
+
+    def session_ids(self):
+        return list(self._sessions)
+
+    def _discard(self, session_id):
+        self._sessions.pop(session_id, None)
+        self.leases.release(session_id)
+
+    def _gc(self):
+        """Collect sessions whose leases lapsed (orphaned state)."""
+        for session_id in self.leases.collect_expired():
+            self._sessions.pop(session_id, None)
+
+    # ------------------------------------------------------------------
+    # Lifecycle notifications
+    # ------------------------------------------------------------------
+    def notify_jvm_exit(self, server):
+        """SSM lives outside the JVM: a JVM exit loses nothing."""
+
+    # ------------------------------------------------------------------
+    # Fault-injection surface
+    # ------------------------------------------------------------------
+    def _raw(self, session_id):
+        """The live stored object, for bit-flip injection by tests."""
+        return self._sessions.get(session_id)

@@ -1,0 +1,20 @@
+"""Client emulation and the action-weighted throughput (Taw) metric (§4).
+
+Human clients are modelled with a Markov process over eBid's 25 end-user
+operations, grouped into *user actions* (sequences of operations that
+culminate in a commit point).  Emulated clients think for an exponentially
+distributed time between URL clicks (mean 7 s, max 70 s, as in TPC-W), and
+the resulting operation mix reproduces Table 1.
+"""
+
+from repro.workload.client import ClientPopulation, EmulatedClient
+from repro.workload.markov import ACTION_TEMPLATES, WorkloadProfile
+from repro.workload.metrics import TawAccounting
+
+__all__ = [
+    "ACTION_TEMPLATES",
+    "ClientPopulation",
+    "EmulatedClient",
+    "TawAccounting",
+    "WorkloadProfile",
+]

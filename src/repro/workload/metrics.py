@@ -1,0 +1,164 @@
+"""Action-weighted throughput (Taw) and response-time accounting (§4).
+
+"An action succeeds or fails atomically: if all operations within the
+action succeed, they count toward action-weighted goodput; if an operation
+fails, all operations in the corresponding action are marked failed" —
+including retroactively, which is why a wide recovery dip also poisons the
+requests that preceded the failure within their actions.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OperationRecord:
+    """One HTTP request as the client experienced it."""
+
+    operation: str
+    url: str
+    issued_at: float
+    completed_at: float = None
+    ok: bool = False
+    response_time: float = None
+    failure_kind: str = None
+    functional_group: str = None
+    retries: int = 0
+
+
+@dataclass
+class ActionRecord:
+    """One user action: operations culminating in a commit point."""
+
+    name: str
+    client_id: int
+    started_at: float
+    operations: list = field(default_factory=list)
+
+    @property
+    def committed(self):
+        """The action succeeded as a whole (its commit point succeeded)."""
+        return bool(self.operations) and all(op.ok for op in self.operations)
+
+
+class TawAccounting:
+    """Aggregates operations/actions into the paper's metrics."""
+
+    def __init__(self):
+        self.actions = []
+        self.good_requests = 0
+        self.failed_requests = 0
+        self.good_actions = 0
+        self.failed_actions = 0
+        #: second → count of requests that (retro)counted good/bad there.
+        self._good_series = {}
+        self._bad_series = {}
+        self.response_times = []  # (completed_at, seconds)
+        #: Failed-request intervals per functional group, for Figure 2.
+        self.failure_intervals = []  # (group, issued_at, completed_at)
+        self.failures_by_operation = {}
+        self.failures_by_kind = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_action(self, action):
+        """Account one finished action (Taw semantics: all-or-nothing)."""
+        self.actions.append(action)
+        committed = action.committed
+        if committed:
+            self.good_actions += 1
+        else:
+            self.failed_actions += 1
+        for op in action.operations:
+            when = op.completed_at if op.completed_at is not None else op.issued_at
+            bucket = int(when)
+            if committed:
+                self.good_requests += 1
+                self._good_series[bucket] = self._good_series.get(bucket, 0) + 1
+            else:
+                self.failed_requests += 1
+                self._bad_series[bucket] = self._bad_series.get(bucket, 0) + 1
+            if op.response_time is not None:
+                self.response_times.append((when, op.response_time))
+            if not op.ok:
+                self.failure_intervals.append(
+                    (op.functional_group, op.issued_at, when)
+                )
+                self.failures_by_operation[op.operation] = (
+                    self.failures_by_operation.get(op.operation, 0) + 1
+                )
+                if op.failure_kind:
+                    self.failures_by_kind[op.failure_kind] = (
+                        self.failures_by_kind.get(op.failure_kind, 0) + 1
+                    )
+
+    # ------------------------------------------------------------------
+    # Series and summaries
+    # ------------------------------------------------------------------
+    @property
+    def total_requests(self):
+        return self.good_requests + self.failed_requests
+
+    def good_taw_series(self):
+        """Per-second good Taw: {second: successful requests}."""
+        return dict(self._good_series)
+
+    def bad_taw_series(self):
+        return dict(self._bad_series)
+
+    def requests_in_window(self, start, end):
+        """(good, bad) requests whose buckets fall in [start, end)."""
+        good = sum(v for t, v in self._good_series.items() if start <= t < end)
+        bad = sum(v for t, v in self._bad_series.items() if start <= t < end)
+        return good, bad
+
+    def operations_mix(self):
+        """Operation name → fraction of all recorded requests."""
+        counts = {}
+        for action in self.actions:
+            for op in action.operations:
+                counts[op.operation] = counts.get(op.operation, 0) + 1
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {name: count / total for name, count in counts.items()}
+
+    def mean_response_time(self):
+        if not self.response_times:
+            return None
+        return sum(rt for _t, rt in self.response_times) / len(self.response_times)
+
+    def response_times_over(self, threshold=8.0):
+        """How many requests exceeded the 8 s abandonment threshold (§5.3)."""
+        return sum(1 for _t, rt in self.response_times if rt > threshold)
+
+    def response_time_series(self, bucket_seconds=1.0):
+        """Per-bucket mean response time: {bucket_start: seconds}."""
+        sums, counts = {}, {}
+        for when, rt in self.response_times:
+            bucket = int(when / bucket_seconds) * bucket_seconds
+            sums[bucket] = sums.get(bucket, 0.0) + rt
+            counts[bucket] = counts.get(bucket, 0) + 1
+        return {b: sums[b] / counts[b] for b in sorted(sums)}
+
+    def group_unavailability(self, group, min_span=1.0):
+        """Merged [start, end] spans during which ``group`` requests failed.
+
+        Figure 2 draws a gap for interval [t1, t2] when a request whose
+        processing spanned it eventually failed; "since RegisterNewUser
+        requests fail, we show the entire group as unavailable".  Fail-fast
+        failures (connection refused) are instantaneous, so each failure
+        claims at least ``min_span`` seconds — one plot pixel, as it were.
+        """
+        spans = sorted(
+            (start, max(end, start + min_span))
+            for g, start, end in self.failure_intervals
+            if g == group
+        )
+        merged = []
+        for start, end in spans:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged

@@ -1,0 +1,48 @@
+"""Unit tests for classloader identity and static-variable survival."""
+
+from repro.appserver.classloader import ClassLoaderRegistry
+
+
+def test_loader_is_stable_across_calls():
+    registry = ClassLoaderRegistry()
+    assert registry.loader_for("X") is registry.loader_for("X")
+
+
+def test_different_components_different_loaders():
+    registry = ClassLoaderRegistry()
+    assert registry.loader_for("X") is not registry.loader_for("Y")
+
+
+def test_class_identity_includes_loader():
+    registry = ClassLoaderRegistry()
+    x_identity = registry.loader_for("X").class_identity("ItemBean")
+    y_identity = registry.loader_for("Y").class_identity("ItemBean")
+    assert x_identity != y_identity  # same class name, different loader
+
+
+def test_statics_survive_reacquisition():
+    """A microreboot keeps the loader, so statics persist (§3.2)."""
+    registry = ClassLoaderRegistry()
+    registry.loader_for("X").statics["counter"] = 41
+    assert registry.loader_for("X").statics["counter"] == 41
+
+
+def test_discard_resets_identity_and_statics():
+    """An application/JVM restart discards the loader: fresh statics."""
+    registry = ClassLoaderRegistry()
+    old = registry.loader_for("X")
+    old.statics["counter"] = 41
+    registry.discard("X")
+    new = registry.loader_for("X")
+    assert new is not old
+    assert new.loader_id != old.loader_id
+    assert new.statics == {}
+
+
+def test_discard_all():
+    registry = ClassLoaderRegistry()
+    old_x = registry.loader_for("X")
+    old_y = registry.loader_for("Y")
+    registry.discard_all()
+    assert registry.loader_for("X") is not old_x
+    assert registry.loader_for("Y") is not old_y

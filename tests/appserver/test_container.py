@@ -1,0 +1,171 @@
+"""Unit tests for containers: lifecycle, interceptors, instance pooling."""
+
+import pytest
+
+from repro.appserver.component import InvocationContext
+from repro.appserver.container import ContainerState
+from repro.appserver.descriptors import TxAttribute
+from repro.appserver.errors import (
+    ApplicationException,
+    ComponentUnavailableError,
+    InvocationError,
+    TransactionError,
+)
+from tests.toyapp import build_toy_system, issue
+
+
+def run_call(system, name, method, *args):
+    """Drive one component call outside the HTTP path."""
+    ctx = InvocationContext(system.server)
+
+    def driver():
+        result = yield from ctx.call(name, method, *args)
+        return result
+
+    process = system.kernel.process(driver())
+    ctx.shepherd_process = process
+    return system.kernel.run_until_triggered(process)
+
+
+def test_invoke_dispatches_to_instance():
+    system = build_toy_system()
+    assert run_call(system, "Greeter", "greet", "world") == "hello world"
+
+
+def test_invoke_unknown_method_is_invocation_error():
+    system = build_toy_system()
+    with pytest.raises(InvocationError):
+        run_call(system, "Greeter", "no_such_method")
+
+
+def test_invoke_private_method_rejected():
+    system = build_toy_system()
+    with pytest.raises(InvocationError):
+        run_call(system, "Account", "_db")
+
+
+def test_round_robin_over_pool():
+    system = build_toy_system()
+    container = system.server.containers["Greeter"]
+    assert len(container.instances) == container.descriptor.pool_size
+    for _ in range(container.descriptor.pool_size + 1):
+        run_call(system, "Greeter", "greet", "x")
+    assert container.invocation_count == container.descriptor.pool_size + 1
+
+
+def test_microrebooting_container_raises_unavailable():
+    system = build_toy_system()
+    container = system.server.containers["Greeter"]
+    container.state = ContainerState.MICROREBOOTING
+    with pytest.raises(ComponentUnavailableError):
+        run_call(system, "Greeter", "greet", "x")
+
+
+def test_stopped_container_raises_unavailable():
+    system = build_toy_system()
+    system.server.containers["Greeter"].state = ContainerState.STOPPED
+    with pytest.raises(ComponentUnavailableError):
+        run_call(system, "Greeter", "greet", "x")
+
+
+def test_required_method_commits_transaction():
+    system = build_toy_system()
+    run_call(system, "Transfer", "transfer", 100, 1, 25)
+    assert system.database.read("accounts", 1)["balance"] == 125
+    assert system.database.read("ledger", 100)["delta"] == 25
+    assert system.server.transactions.committed_count == 1
+    assert system.server.transactions.active_transactions == []
+
+
+def test_required_method_rolls_back_on_failure():
+    system = build_toy_system()
+    # Account 99 does not exist: adjust fails after the tx began.
+    with pytest.raises(ApplicationException):
+        run_call(system, "Transfer", "transfer", 101, 99, 5)
+    assert system.database.read("ledger", 101) is None
+    assert system.server.transactions.rolled_back_count == 1
+
+
+def test_failed_stateless_instance_is_discarded():
+    """Corrupted instance state is naturally expunged (Table 2)."""
+    system = build_toy_system()
+    container = system.server.containers["Transfer"]
+    victim = container.instances[0]
+    victim.fee = None  # null-corrupt the attribute
+    with pytest.raises(ApplicationException):
+        run_call(system, "Transfer", "transfer", 102, 1, 5)
+    assert victim not in container.instances
+    assert victim.failed
+    # The replacement instance serves the next call.
+    run_call(system, "Transfer", "transfer", 103, 1, 5)
+
+
+def test_null_tx_map_entry_fails_every_call():
+    system = build_toy_system()
+    system.server.containers["Transfer"].tx_method_map["transfer"] = None
+    with pytest.raises(TransactionError, match="null"):
+        run_call(system, "Transfer", "transfer", 104, 1, 5)
+
+
+def test_invalid_tx_map_entry_fails():
+    system = build_toy_system()
+    system.server.containers["Transfer"].tx_method_map["transfer"] = "Banana"
+    with pytest.raises(TransactionError, match="invalid"):
+        run_call(system, "Transfer", "transfer", 105, 1, 5)
+
+
+def test_wrong_tx_map_entry_leaves_partial_state():
+    """The ``≈`` scenario of Table 2: a Required method runs without a
+    transaction, auto-commits its writes, and the container flags the
+    demarcation mismatch only after the damage is durable."""
+    system = build_toy_system()
+    container = system.server.containers["Transfer"]
+    container.tx_method_map["transfer"] = TxAttribute.NOT_SUPPORTED
+    before = system.database.read("accounts", 1)["balance"]
+    with pytest.raises(TransactionError, match="auto-committed"):
+        run_call(system, "Transfer", "transfer", 106, 1, 5)
+    # The operation failed, yet its writes persisted individually.
+    assert system.database.read("accounts", 1)["balance"] == before + 5
+    assert system.database.read("ledger", 106) is not None
+
+
+def test_reinitialize_restores_tx_map():
+    system = build_toy_system()
+    container = system.server.containers["Transfer"]
+    container.tx_method_map["transfer"] = None
+    container.initialize()
+    assert container.tx_method_map["transfer"] is TxAttribute.REQUIRED
+
+
+def test_destroy_kills_active_shepherds():
+    system = build_toy_system()
+    container = system.server.containers["Greeter"]
+
+    responses = []
+
+    def client():
+        response = yield system.server.handle_request(
+            __import__("repro.appserver.http", fromlist=["HttpRequest"]).HttpRequest(
+                url="/toy/greet", operation="greet"
+            )
+        )
+        responses.append(response)
+
+    system.kernel.process(client())
+
+    def killer():
+        yield system.kernel.timeout(0.008)  # while the request is inside
+        container.destroy(cause="test")
+
+    system.kernel.process(killer())
+    system.kernel.run(until=30.0)
+    assert len(responses) == 1
+    assert responses[0].network_error  # connection reset mid-flight
+
+
+def test_generation_counts_reinitializations():
+    system = build_toy_system()
+    container = system.server.containers["Greeter"]
+    first = container.generation
+    container.initialize()
+    assert container.generation == first + 1

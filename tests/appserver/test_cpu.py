@@ -1,0 +1,164 @@
+"""Unit tests for the processor-sharing CPU model."""
+
+import pytest
+
+from repro.appserver.cpu import ProcessorSharingCpu
+from repro.sim import Interrupt, Kernel, SimulationError
+
+
+def test_parameter_validation():
+    kernel = Kernel()
+    with pytest.raises(SimulationError):
+        ProcessorSharingCpu(kernel, cores=0)
+    with pytest.raises(SimulationError):
+        ProcessorSharingCpu(kernel, quantum=0)
+
+
+def test_uncontended_job_takes_its_demand():
+    kernel = Kernel()
+    cpu = ProcessorSharingCpu(kernel, quantum=0.004)
+    done = []
+
+    def job():
+        yield from cpu.consume(0.010)
+        done.append(kernel.now)
+
+    kernel.process(job())
+    kernel.run()
+    assert done == [pytest.approx(0.010)]
+
+
+def test_two_jobs_share_the_processor():
+    kernel = Kernel()
+    cpu = ProcessorSharingCpu(kernel, quantum=0.001)
+    done = {}
+
+    def job(tag):
+        yield from cpu.consume(0.010)
+        done[tag] = kernel.now
+
+    kernel.process(job("a"))
+    kernel.process(job("b"))
+    kernel.run()
+    # Each needs 10 ms of CPU; sharing stretches both to ~20 ms.
+    assert done["a"] == pytest.approx(0.020, rel=0.05)
+    assert done["b"] == pytest.approx(0.020, rel=0.05)
+
+
+def test_multicore_removes_contention():
+    kernel = Kernel()
+    cpu = ProcessorSharingCpu(kernel, cores=2, quantum=0.001)
+    done = {}
+
+    def job(tag):
+        yield from cpu.consume(0.010)
+        done[tag] = kernel.now
+
+    kernel.process(job("a"))
+    kernel.process(job("b"))
+    kernel.run()
+    assert done["a"] == pytest.approx(0.010, rel=0.05)
+    assert done["b"] == pytest.approx(0.010, rel=0.05)
+
+
+def test_zero_demand_completes_immediately():
+    kernel = Kernel()
+    cpu = ProcessorSharingCpu(kernel)
+    done = []
+
+    def job():
+        yield from cpu.consume(0.0)
+        done.append(kernel.now)
+
+    kernel.process(job())
+    kernel.run()
+    assert done == [0.0]
+
+
+def test_negative_demand_rejected():
+    kernel = Kernel()
+    cpu = ProcessorSharingCpu(kernel)
+
+    def job():
+        yield from cpu.consume(-1.0)
+
+    process = kernel.process(job())
+    kernel.run()
+    assert isinstance(process.value, SimulationError)
+
+
+def test_hog_slows_other_jobs():
+    kernel = Kernel()
+    cpu = ProcessorSharingCpu(kernel, quantum=0.001)
+    cpu.add_hog()
+    done = []
+
+    def job():
+        yield from cpu.consume(0.010)
+        done.append(kernel.now)
+
+    kernel.process(job())
+    kernel.run()
+    # The hog doubles the stretch factor for the whole run.
+    assert done == [pytest.approx(0.020, rel=0.05)]
+
+
+def test_remove_hog_restores_speed():
+    kernel = Kernel()
+    cpu = ProcessorSharingCpu(kernel, quantum=0.001)
+    cpu.add_hog()
+    cpu.remove_hog()
+    done = []
+
+    def job():
+        yield from cpu.consume(0.010)
+        done.append(kernel.now)
+
+    kernel.process(job())
+    kernel.run()
+    assert done == [pytest.approx(0.010, rel=0.05)]
+
+
+def test_remove_hog_without_hogs_rejected():
+    with pytest.raises(SimulationError):
+        ProcessorSharingCpu(Kernel()).remove_hog()
+
+
+def test_interrupted_job_stops_contributing_load():
+    kernel = Kernel()
+    cpu = ProcessorSharingCpu(kernel, quantum=0.001)
+
+    def victim():
+        try:
+            yield from cpu.consume(10.0)
+        except Interrupt:
+            pass
+
+    process = kernel.process(victim())
+
+    def killer():
+        yield kernel.timeout(0.005)
+        process.interrupt()
+
+    kernel.process(killer())
+    kernel.run()
+    assert cpu.active_jobs == 0
+
+
+def test_load_reflects_active_jobs():
+    kernel = Kernel()
+    cpu = ProcessorSharingCpu(kernel, cores=2, quantum=0.001)
+    samples = []
+
+    def job():
+        yield from cpu.consume(0.010)
+
+    def sampler():
+        yield kernel.timeout(0.002)
+        samples.append(cpu.load)
+
+    for _ in range(4):
+        kernel.process(job())
+    kernel.process(sampler())
+    kernel.run()
+    assert samples == [pytest.approx(2.0)]  # 4 jobs on 2 cores

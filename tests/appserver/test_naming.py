@@ -1,0 +1,85 @@
+"""Unit tests for the naming service (JNDI analogue)."""
+
+import pytest
+
+from repro.appserver.errors import NamingError
+from repro.appserver.naming import NamingService, Sentinel
+
+
+def test_bind_and_lookup():
+    naming = NamingService()
+    naming.bind("ViewItem", "container-ViewItem")
+    assert naming.lookup("ViewItem") == "container-ViewItem"
+
+
+def test_lookup_unbound_raises():
+    with pytest.raises(NamingError):
+        NamingService().lookup("ghost")
+
+
+def test_rebinding_replaces():
+    naming = NamingService()
+    naming.bind("X", "a")
+    naming.bind("X", "b")
+    assert naming.lookup("X") == "b"
+
+
+def test_unbind_removes():
+    naming = NamingService()
+    naming.bind("X", "a")
+    naming.unbind("X")
+    assert not naming.is_bound("X")
+    with pytest.raises(NamingError):
+        naming.lookup("X")
+
+
+def test_unbind_missing_is_noop():
+    NamingService().unbind("never-bound")
+
+
+def test_bound_names_lists_all():
+    naming = NamingService()
+    naming.bind("A", "1")
+    naming.bind("B", "2")
+    assert sorted(naming.bound_names()) == ["A", "B"]
+
+
+def test_sentinel_binding_and_lookup():
+    naming = NamingService()
+    naming.bind("X", "container-X")
+    naming.bind_sentinel("X", retry_after=0.5)
+    assert naming.is_sentinel("X")
+    result = naming.lookup("X")
+    assert isinstance(result, Sentinel)
+    assert result.retry_after == 0.5
+    assert result.component == "X"
+
+
+def test_rebind_after_sentinel_clears_it():
+    naming = NamingService()
+    naming.bind("X", "c")
+    naming.bind_sentinel("X", retry_after=1.0)
+    naming.bind("X", "c")
+    assert not naming.is_sentinel("X")
+    assert naming.lookup("X") == "c"
+
+
+def test_corrupt_to_null_elicits_naming_error():
+    naming = NamingService()
+    naming.bind("X", "c")
+    naming._corrupt("X", None)
+    with pytest.raises(NamingError, match="null"):
+        naming.lookup("X")
+
+
+def test_corrupt_unbound_name_rejected():
+    with pytest.raises(NamingError):
+        NamingService()._corrupt("ghost", "x")
+
+
+def test_corrupt_to_wrong_target_resolves_silently():
+    """A *wrong* entry does not fail at lookup time — it misroutes."""
+    naming = NamingService()
+    naming.bind("X", "container-X")
+    naming._corrupt("X", "container-Y")
+    assert naming.lookup("X") == "container-Y"

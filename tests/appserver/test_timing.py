@@ -1,0 +1,50 @@
+"""Unit tests for the timing calibration."""
+
+import random
+
+import pytest
+
+from repro.appserver.timing import TimingModel
+
+
+def test_jboss_service_init_matches_paper_breakdown():
+    """§5.2: 56% of the 19 s JVM restart is service initialization."""
+    timing = TimingModel()
+    services = dict(timing.jboss_services)
+    assert services["transaction-service"] == 2.0
+    assert services["embedded-web-server"] == 1.8
+    assert services["control-and-management"] == 1.2
+    assert len(timing.jboss_services) > 70
+    total = timing.jboss_services_init_time()
+    assert total == pytest.approx(0.56 * 19.083, rel=0.02)
+
+
+def test_jvm_restart_time_matches_table3():
+    timing = TimingModel()
+    assert timing.jvm_restart_time() == pytest.approx(19.083, rel=0.01)
+
+
+def test_app_restart_matches_table3():
+    timing = TimingModel()
+    total = timing.app_restart_crash_time + timing.app_restart_reinit_time
+    assert total == pytest.approx(7.699, rel=0.001)
+
+
+def test_ssm_penalty_is_an_order_larger_than_fasts():
+    """Table 5: SSM accesses cost far more than in-JVM FastS accesses."""
+    timing = TimingModel()
+    assert timing.ssm_access_time > 10 * timing.fasts_access_time
+    assert 0.010 <= timing.ssm_access_time <= 0.025
+
+
+def test_sample_applies_bounded_jitter():
+    timing = TimingModel(jitter=0.15)
+    rng = random.Random(1)
+    draws = [timing.sample(rng, 1.0) for _ in range(500)]
+    assert all(0.85 <= d <= 1.15 for d in draws)
+    assert min(draws) < 0.90 and max(draws) > 1.10
+
+
+def test_sample_without_jitter_is_identity():
+    timing = TimingModel(jitter=0.0)
+    assert timing.sample(random.Random(1), 0.42) == 0.42

@@ -1,0 +1,117 @@
+"""Unit tests for the transaction manager."""
+
+import pytest
+
+from repro.appserver.errors import TransactionError
+from repro.appserver.transactions import TransactionManager, TxState
+
+
+class FakeResource:
+    def __init__(self):
+        self.commits = []
+        self.rollbacks = []
+
+    def commit_transaction(self, tx_id):
+        self.commits.append(tx_id)
+
+    def rollback_transaction(self, tx_id):
+        self.rollbacks.append(tx_id)
+
+
+def test_begin_creates_active_tx():
+    manager = TransactionManager()
+    tx = manager.begin(owner="shepherd-1")
+    assert tx.is_active
+    assert tx in manager.active_transactions
+
+
+def test_commit_flushes_resources_in_order():
+    manager = TransactionManager()
+    tx = manager.begin("o")
+    first, second = FakeResource(), FakeResource()
+    tx.enlist(first)
+    tx.enlist(second)
+    manager.commit(tx)
+    assert first.commits == [tx.tx_id]
+    assert second.commits == [tx.tx_id]
+    assert tx.state is TxState.COMMITTED
+    assert manager.committed_count == 1
+    assert manager.active_transactions == []
+
+
+def test_rollback_notifies_resources():
+    manager = TransactionManager()
+    tx = manager.begin("o")
+    resource = FakeResource()
+    tx.enlist(resource)
+    manager.rollback(tx)
+    assert resource.rollbacks == [tx.tx_id]
+    assert tx.state is TxState.ROLLED_BACK
+    assert manager.rolled_back_count == 1
+
+
+def test_enlist_is_idempotent():
+    manager = TransactionManager()
+    tx = manager.begin("o")
+    resource = FakeResource()
+    tx.enlist(resource)
+    tx.enlist(resource)
+    manager.commit(tx)
+    assert resource.commits == [tx.tx_id]
+
+
+def test_double_commit_rejected():
+    manager = TransactionManager()
+    tx = manager.begin("o")
+    manager.commit(tx)
+    with pytest.raises(TransactionError):
+        manager.commit(tx)
+
+
+def test_commit_after_rollback_rejected():
+    manager = TransactionManager()
+    tx = manager.begin("o")
+    manager.rollback(tx)
+    with pytest.raises(TransactionError):
+        manager.commit(tx)
+
+
+def test_enlist_on_retired_tx_rejected():
+    manager = TransactionManager()
+    tx = manager.begin("o")
+    manager.commit(tx)
+    with pytest.raises(TransactionError):
+        tx.enlist(FakeResource())
+
+
+def test_abort_involving_targets_touched_components():
+    manager = TransactionManager()
+    touched = manager.begin("a")
+    touched.touch("ViewItem")
+    untouched = manager.begin("b")
+    untouched.touch("MakeBid")
+    aborted = manager.abort_involving(["ViewItem"])
+    assert aborted == 1
+    assert touched.state is TxState.ROLLED_BACK
+    assert untouched.is_active
+
+
+def test_abort_involving_handles_group_membership():
+    manager = TransactionManager()
+    tx = manager.begin("a")
+    tx.touch("Item")
+    assert manager.abort_involving(["User", "Item", "Bid"]) == 1
+
+
+def test_abort_all():
+    manager = TransactionManager()
+    for tag in ("a", "b", "c"):
+        manager.begin(tag)
+    assert manager.abort_all() == 3
+    assert manager.active_transactions == []
+
+
+def test_tx_ids_are_unique():
+    manager = TransactionManager()
+    ids = {manager.begin(i).tx_id for i in range(10)}
+    assert len(ids) == 10

@@ -1,0 +1,138 @@
+"""Tests for the load balancer: affinity, failover, microfailover."""
+
+import pytest
+
+from repro.appserver.http import HttpRequest, HttpStatus
+from repro.cluster import FailoverMode, build_cluster
+from repro.ebid.schema import DatasetConfig
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(3, dataset=DatasetConfig.tiny(), seed=2)
+
+
+def issue(cluster, url, params=None, cookie=None):
+    request = HttpRequest(
+        url=url, operation=url.rsplit("/", 1)[-1], params=params or {},
+        cookie=cookie,
+    )
+    event = cluster.load_balancer.handle_request(request)
+    return cluster.kernel.run_until_triggered(event)
+
+
+def login(cluster, user_id):
+    response = issue(
+        cluster, "/ebid/Authenticate",
+        {"user_id": user_id, "password": f"pw{user_id}"},
+    )
+    return response.payload["cookie"]
+
+
+def served_by(cluster, cookie):
+    """Which node's FastS holds this cookie's session."""
+    return [
+        node.name
+        for node in cluster.nodes
+        if cluster.kernel and node.system.session_store.read(cookie)
+    ]
+
+
+def test_logins_spread_over_nodes(cluster):
+    cookies = [login(cluster, uid) for uid in range(1, 7)]
+    homes = {served_by(cluster, c)[0] for c in cookies}
+    assert len(homes) == 3  # every node got some logins
+
+
+def test_session_affinity_sticks(cluster):
+    cookie = login(cluster, 1)
+    home = served_by(cluster, cookie)[0]
+    for _ in range(4):
+        response = issue(cluster, "/ebid/AboutMe", cookie=cookie)
+        assert response.payload.get("nickname") == "user1"
+    # Still exactly one copy of the session, on the home node.
+    assert served_by(cluster, cookie) == [home]
+
+
+def test_full_failover_redirects_affine_requests(cluster):
+    cookie = login(cluster, 1)
+    home_name = served_by(cluster, cookie)[0]
+    bad = cluster.find_node(home_name)
+    cluster.load_balancer.begin_failover(bad, FailoverMode.FULL)
+    response = issue(cluster, "/ebid/AboutMe", cookie=cookie)
+    # With FastS the session is node-local: the good node cannot find it.
+    assert response.payload.get("login_required")
+    assert cookie in cluster.load_balancer.sessions_failed_over
+    assert cluster.load_balancer.requests_failed_over == 1
+
+
+def test_end_failover_restores_affinity(cluster):
+    cookie = login(cluster, 1)
+    bad = cluster.find_node(served_by(cluster, cookie)[0])
+    cluster.load_balancer.begin_failover(bad, FailoverMode.FULL)
+    issue(cluster, "/ebid/AboutMe", cookie=cookie)
+    cluster.load_balancer.end_failover(bad)
+    response = issue(cluster, "/ebid/AboutMe", cookie=cookie)
+    assert response.payload.get("nickname") == "user1"  # home node again
+
+
+def test_failover_none_keeps_routing_to_bad_node(cluster):
+    cookie = login(cluster, 1)
+    bad = cluster.find_node(served_by(cluster, cookie)[0])
+    cluster.load_balancer.begin_failover(bad, FailoverMode.NONE)
+    response = issue(cluster, "/ebid/AboutMe", cookie=cookie)
+    assert response.payload.get("nickname") == "user1"
+    assert cluster.load_balancer.requests_failed_over == 0
+
+
+def test_microfailover_redirects_only_touching_requests(cluster):
+    cookie = login(cluster, 1)
+    bad = cluster.find_node(served_by(cluster, cookie)[0])
+    cluster.load_balancer.begin_failover(
+        bad, FailoverMode.MICRO, components=("ViewItem",)
+    )
+    # AboutMe does not touch ViewItem: stays on the recovering node.
+    response = issue(cluster, "/ebid/AboutMe", cookie=cookie)
+    assert response.payload.get("nickname") == "user1"
+    # ViewItem-path requests are redirected.
+    before = cluster.load_balancer.requests_failed_over
+    issue(cluster, "/ebid/ViewItem", params={"item_id": 1}, cookie=cookie)
+    assert cluster.load_balancer.requests_failed_over == before + 1
+
+
+def test_new_logins_avoid_recovering_nodes(cluster):
+    bad = cluster.nodes[0]
+    cluster.load_balancer.begin_failover(bad, FailoverMode.FULL)
+    cookies = [login(cluster, uid) for uid in range(1, 7)]
+    for cookie in cookies:
+        assert served_by(cluster, cookie)[0] != bad.name
+
+
+def test_nodes_share_one_database(cluster):
+    cookie = login(cluster, 1)
+    response = issue(
+        cluster, "/ebid/RegisterNewItem",
+        {"name": "shared", "category_id": 1, "region_id": 1,
+         "initial_price": 10},
+        cookie,
+    )
+    item_id = response.payload["item_id"]
+    # Any node sees the row (single shared persistence tier).
+    view = issue(cluster, "/ebid/ViewItem", {"item_id": item_id})
+    assert view.status == HttpStatus.OK
+
+
+def test_cluster_ids_never_collide(cluster):
+    """The high-low key blocks keep concurrent nodes collision-free."""
+    cookies = [login(cluster, uid) for uid in range(1, 10)]
+    item_ids = []
+    for i, cookie in enumerate(cookies):
+        response = issue(
+            cluster, "/ebid/RegisterNewItem",
+            {"name": f"w{i}", "category_id": 1, "region_id": 1,
+             "initial_price": 5},
+            cookie,
+        )
+        assert response.status == HttpStatus.OK
+        item_ids.append(response.payload["item_id"])
+    assert len(set(item_ids)) == len(item_ids)

@@ -1,0 +1,61 @@
+"""Tests for the node abstraction (OS + JVM recovery actions)."""
+
+import pytest
+
+from repro.appserver.server import ServerState
+from repro.cluster.node import Node
+from repro.ebid.app import build_ebid_system
+from repro.ebid.schema import DatasetConfig
+
+
+@pytest.fixture
+def node():
+    system = build_ebid_system(dataset=DatasetConfig.tiny(), seed=1)
+    return Node(system)
+
+
+def run(node, generator):
+    return node.kernel.run_until_triggered(node.kernel.process(generator))
+
+
+def test_jvm_restart_takes_paper_time(node):
+    start = node.kernel.now
+    run(node, node.restart_jvm())
+    assert node.kernel.now - start == pytest.approx(19.08, rel=0.01)
+    assert node.server.state is ServerState.RUNNING
+    assert node.jvm_restarts == 1
+
+
+def test_jvm_restart_terminates_node_db_sessions(node):
+    """§7: the OS tears down TCP, the DB ends the sessions immediately."""
+    database = node.system.database
+    from repro.appserver.component import InvocationContext
+
+    ctx = InvocationContext(node.server)
+    session = database.open_session(owner=ctx)
+
+    def locker():
+        yield session.lock_row("items", 1)
+
+    run(node, locker())
+    assert database.row_lock_holder("items", 1) is session
+    run(node, node.restart_jvm())
+    assert database.row_lock_holder("items", 1) is None
+
+
+def test_os_reboot_clears_os_leak_and_takes_longer(node):
+    node.leak_os_memory(node.os_memory)
+    assert node.server.accept_fault is not None
+    start = node.kernel.now
+    run(node, node.reboot_os())
+    # OS reboot (65 s) plus the cold JVM boot (19 s).
+    assert node.kernel.now - start == pytest.approx(65 + 19.08, rel=0.02)
+    assert node.os_leaked == 0
+    assert node.server.accept_fault is None
+    assert node.os_reboots == 1
+
+
+def test_jvm_restart_does_not_cure_os_pressure(node):
+    node.leak_os_memory(node.os_memory)
+    run(node, node.restart_jvm())
+    assert node.server.accept_fault is not None  # reinstated post-boot

@@ -1,0 +1,87 @@
+"""Cluster failover semantics of the two session stores (§5.3).
+
+With node-local FastS, failing a session over to another node loses its
+state (the other node's FastS has never heard of it); with the external
+SSM, any node can pick the session up — at the marshalling cost Table 5
+quantifies.
+"""
+
+import pytest
+
+from repro.appserver.http import HttpRequest, HttpStatus
+from repro.cluster import FailoverMode, build_cluster
+from repro.ebid.schema import DatasetConfig
+
+
+def issue(cluster, url, params=None, cookie=None):
+    request = HttpRequest(
+        url=url, operation=url.rsplit("/", 1)[-1], params=params or {},
+        cookie=cookie,
+    )
+    return cluster.kernel.run_until_triggered(
+        cluster.load_balancer.handle_request(request)
+    )
+
+
+def establish_session(cluster, user_id=1):
+    response = issue(
+        cluster, "/ebid/Authenticate",
+        {"user_id": user_id, "password": f"pw{user_id}"},
+    )
+    cookie = response.payload["cookie"]
+    # Stash some conversational state (the selected bid item).
+    issue(cluster, "/ebid/MakeBid", {"item_id": 3}, cookie=cookie)
+    return cookie
+
+
+def home_node(cluster, cookie):
+    return cluster.load_balancer._affinity[cookie]
+
+
+class TestFastSFailover:
+    def test_failed_over_session_is_lost(self):
+        cluster = build_cluster(3, dataset=DatasetConfig.tiny(),
+                                session_store="fasts")
+        cookie = establish_session(cluster)
+        bad = home_node(cluster, cookie)
+        cluster.load_balancer.begin_failover(bad, FailoverMode.FULL)
+        response = issue(cluster, "/ebid/CommitBid", {"amount": 999},
+                         cookie=cookie)
+        # The good node has no session for this cookie: login prompt.
+        assert response.payload.get("login_required")
+
+
+class TestSSMFailover:
+    def test_failed_over_session_survives(self):
+        cluster = build_cluster(3, dataset=DatasetConfig.tiny(),
+                                session_store="ssm")
+        cookie = establish_session(cluster)
+        bad = home_node(cluster, cookie)
+        cluster.load_balancer.begin_failover(bad, FailoverMode.FULL)
+        # The good node reads the session (and the selected item) from SSM.
+        prepare = issue(cluster, "/ebid/MakeBid", {"item_id": 3},
+                        cookie=cookie)
+        assert prepare.status == HttpStatus.OK
+        commit = issue(
+            cluster, "/ebid/CommitBid",
+            {"amount": prepare.payload["current_bid"] + 5}, cookie=cookie,
+        )
+        assert commit.payload.get("accepted") is True
+
+    def test_session_survives_even_jvm_restart_of_home_node(self):
+        cluster = build_cluster(2, dataset=DatasetConfig.tiny(),
+                                session_store="ssm")
+        cookie = establish_session(cluster)
+        bad = home_node(cluster, cookie)
+        cluster.kernel.run_until_triggered(
+            cluster.kernel.process(bad.restart_jvm())
+        )
+        response = issue(cluster, "/ebid/AboutMe", cookie=cookie)
+        assert response.payload.get("nickname") == "user1"
+
+    def test_all_nodes_share_one_ssm(self):
+        cluster = build_cluster(3, dataset=DatasetConfig.tiny(),
+                                session_store="ssm")
+        assert cluster.ssm is not None
+        stores = {id(node.system.session_store) for node in cluster.nodes}
+        assert stores == {id(cluster.ssm)}

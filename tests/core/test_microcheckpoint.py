@@ -1,0 +1,146 @@
+"""Tests for microcheckpointing (§8): resumable long-running operations."""
+
+import pytest
+
+from repro.core.microcheckpoint import MicrocheckpointStore
+from repro.sim import Interrupt, Kernel
+from tests.toyapp import build_toy_system
+
+
+class TestStore:
+    def test_save_load_roundtrip(self):
+        store = MicrocheckpointStore(Kernel())
+        store.save("op-1", {"cursor": 40, "partial": [1, 2]})
+        assert store.load("op-1") == {"cursor": 40, "partial": [1, 2]}
+
+    def test_load_missing_is_none(self):
+        assert MicrocheckpointStore(Kernel()).load("ghost") is None
+
+    def test_progress_is_copied(self):
+        store = MicrocheckpointStore(Kernel())
+        progress = {"items": [1]}
+        store.save("op", progress)
+        progress["items"].append(2)  # caller mutates afterwards
+        loaded = store.load("op")
+        assert loaded == {"items": [1]}
+        loaded["items"].append(3)
+        assert store.load("op") == {"items": [1]}
+
+    def test_complete_discards(self):
+        store = MicrocheckpointStore(Kernel())
+        store.save("op", 1)
+        store.complete("op")
+        assert store.load("op") is None
+        assert store.discards == 1
+
+    def test_lease_expiry_collects_orphans(self):
+        kernel = Kernel()
+        store = MicrocheckpointStore(kernel, lease_ttl=10.0)
+        store.save("abandoned", {"cursor": 5})
+        kernel.run(until=11.0)
+        assert store.load("abandoned") is None
+        assert len(store) == 0
+
+    def test_load_renews_lease(self):
+        kernel = Kernel()
+        store = MicrocheckpointStore(kernel, lease_ttl=10.0)
+        store.save("op", 1)
+        kernel.run(until=8.0)
+        assert store.load("op") == 1
+        kernel.run(until=15.0)  # would have expired without the renewal
+        assert store.load("op") == 1
+
+    def test_persistent_fault_guard(self):
+        """A checkpoint resumed too many times is presumed poisonous."""
+        store = MicrocheckpointStore(Kernel(), max_resumptions=2)
+        store.save("op", {"cursor": 7})
+        assert store.load("op") is not None  # resumption 1
+        assert store.load("op") is not None  # resumption 2
+        assert store.load("op") is None  # discarded: start from scratch
+        assert store.load("op") is None
+
+    def test_resave_preserves_resumption_count(self):
+        store = MicrocheckpointStore(Kernel(), max_resumptions=2)
+        store.save("op", 1)
+        store.load("op")
+        store.save("op", 2)  # progress advanced after the resume
+        store.load("op")
+        assert store.load("op") is None  # 2 resumptions consumed
+
+
+class TestResumableOperationAcrossMicroreboot:
+    """End-to-end: a long-running bean operation is killed by a µRB
+    mid-way; the retried request resumes from the checkpoint instead of
+    starting over — 'a fresh instance ... can pick up a request and
+    continue processing it where the previous instance left off'."""
+
+    TOTAL_STEPS = 40
+    CHECKPOINT_EVERY = 10
+
+    def _run_long_operation(self, system, store, op_key, log):
+        """Generator: process TOTAL_STEPS work units, checkpointing."""
+        kernel = system.kernel
+
+        def operation():
+            progress = store.load(op_key) or {"next_step": 0}
+            start = progress["next_step"]
+            log.append(("started-at", start))
+            for step in range(start, self.TOTAL_STEPS):
+                yield kernel.timeout(0.05)  # one unit of work
+                if (step + 1) % self.CHECKPOINT_EVERY == 0:
+                    store.save(op_key, {"next_step": step + 1})
+            store.complete(op_key)
+            return "done"
+
+        return kernel.process(operation())
+
+    def test_resume_after_kill(self):
+        system = build_toy_system()
+        store = MicrocheckpointStore(system.kernel)
+        log = []
+
+        first = self._run_long_operation(system, store, "bulk-op", log)
+
+        def killer():
+            yield system.kernel.timeout(1.2)  # ~24 steps in, 20 checkpointed
+            first.interrupt(cause="microreboot")
+
+        system.kernel.process(killer())
+        system.kernel.run(until=5.0)
+        assert first.triggered and isinstance(first.value, Interrupt)
+
+        # The retry picks up from the last checkpoint, not from zero.
+        second = self._run_long_operation(system, store, "bulk-op", log)
+        system.kernel.run(until=10.0)
+        assert second.value == "done"
+        assert log == [("started-at", 0), ("started-at", 20)]
+        assert store.load("bulk-op") is None  # completed and cleaned up
+
+    def test_without_checkpointing_work_restarts_from_zero(self):
+        """The ablation: same kill, no checkpoint — all progress lost."""
+        system = build_toy_system()
+        store = MicrocheckpointStore(system.kernel)
+        log = []
+
+        class NoCheckpoint:
+            def load(self, key):
+                return None
+
+            def save(self, key, progress):
+                pass
+
+            def complete(self, key):
+                pass
+
+        first = self._run_long_operation(system, NoCheckpoint(), "op", log)
+
+        def killer():
+            yield system.kernel.timeout(1.2)
+            first.interrupt(cause="microreboot")
+
+        system.kernel.process(killer())
+        system.kernel.run(until=5.0)
+        second = self._run_long_operation(system, NoCheckpoint(), "op", log)
+        system.kernel.run(until=10.0)
+        assert second.value == "done"
+        assert log == [("started-at", 0), ("started-at", 0)]

@@ -1,0 +1,231 @@
+"""Unit/integration tests for the microreboot coordinator."""
+
+import pytest
+
+from repro.appserver.container import ContainerState
+from repro.appserver.errors import AppServerError
+from repro.appserver.http import HttpRequest, HttpStatus
+from repro.core import MicrorebootCoordinator, RetryPolicy
+from tests.toyapp import build_toy_system, issue
+
+
+def run(system, generator):
+    return system.kernel.run_until_triggered(system.kernel.process(generator))
+
+
+def test_expand_targets_applies_recovery_group():
+    system = build_toy_system()
+    assert system.coordinator.expand_targets(["Account"]) == ["Account", "Ledger"]
+    assert system.coordinator.expand_targets(["Greeter"]) == ["Greeter"]
+
+
+def test_expand_targets_unknown_component_rejected():
+    system = build_toy_system()
+    with pytest.raises(AppServerError):
+        system.coordinator.expand_targets(["Ghost"])
+
+
+def test_microreboot_duration_is_crash_plus_reinit():
+    system = build_toy_system()
+    start = system.kernel.now
+    event = run(system, system.coordinator.microreboot(["Greeter"]))
+    expected = (
+        0.004 + 0.090 + system.server.timing.gc_pause_after_urb
+    )
+    assert system.kernel.now - start == pytest.approx(expected, abs=1e-9)
+    assert event.level == "ejb"
+    assert event.components == ("Greeter",)
+
+
+def test_microreboot_group_duration_sums_members():
+    system = build_toy_system()
+    start = system.kernel.now
+    run(system, system.coordinator.microreboot(["Ledger"]))
+    expected = (0.005 + 0.100) + (0.005 + 0.120) + system.server.timing.gc_pause_after_urb
+    assert system.kernel.now - start == pytest.approx(expected, abs=1e-9)
+
+
+def test_microreboot_replaces_instances_and_keeps_classloader():
+    system = build_toy_system()
+    container = system.server.containers["Greeter"]
+    old_instances = list(container.instances)
+    old_loader = container.classloader
+    run(system, system.coordinator.microreboot(["Greeter"]))
+    assert all(i not in container.instances for i in old_instances)
+    assert container.classloader is old_loader
+
+
+def test_microreboot_restores_corrupted_metadata():
+    system = build_toy_system()
+    system.server.naming._corrupt("Greeter", None)
+    system.server.containers["Transfer"].tx_method_map["transfer"] = None
+    run(system, system.coordinator.microreboot(["Greeter", "Transfer"]))
+    assert system.server.naming.lookup("Greeter") == "Greeter"
+    assert system.server.containers["Transfer"].tx_method_map["transfer"] is not None
+
+
+def test_microreboot_aborts_involved_transactions_only():
+    system = build_toy_system()
+    involved = system.server.transactions.begin("a")
+    involved.touch("Greeter")
+    bystander = system.server.transactions.begin("b")
+    bystander.touch("Audit")
+    run(system, system.coordinator.microreboot(["Greeter"]))
+    assert not involved.is_active
+    assert bystander.is_active
+
+
+def test_microreboot_releases_attributed_memory():
+    system = build_toy_system()
+    system.server.heap.leak("Greeter", 4096)
+    system.server.heap.leak("Audit", 100)
+    event = run(system, system.coordinator.microreboot(["Greeter"]))
+    assert event.memory_released == 4096
+    assert event.memory_released_by == {"Greeter": 4096}
+    assert system.server.heap.leaked_by("Audit") == 100
+
+
+def test_calls_during_microreboot_fail_fast():
+    system = build_toy_system()
+    responses = []
+
+    def client():
+        yield system.kernel.timeout(0.01)  # while the µRB is in flight
+        response = yield system.server.handle_request(
+            HttpRequest(url="/toy/greet", operation="greet")
+        )
+        responses.append(response)
+
+    system.kernel.process(client())
+    system.kernel.process(system.coordinator.microreboot(["Greeter"]))
+    system.kernel.run(until=5.0)
+    assert responses[0].status == HttpStatus.INTERNAL_SERVER_ERROR
+    assert "exception" in responses[0].body
+
+
+def test_calls_during_microreboot_get_retry_after_when_enabled():
+    system = build_toy_system(retry_policy=RetryPolicy.retry_only())
+    system.server.retry_enabled = True
+    responses = []
+
+    def client():
+        yield system.kernel.timeout(0.01)
+        response = yield system.server.handle_request(
+            HttpRequest(url="/toy/greet", operation="greet", idempotent=True)
+        )
+        responses.append(response)
+
+    system.kernel.process(client())
+    system.kernel.process(system.coordinator.microreboot(["Greeter"]))
+    system.kernel.run(until=5.0)
+    assert responses[0].status == HttpStatus.SERVICE_UNAVAILABLE
+    assert responses[0].retry_after > 0
+
+
+def test_non_idempotent_requests_never_get_503():
+    system = build_toy_system(retry_policy=RetryPolicy.retry_only())
+    system.server.retry_enabled = True
+    responses = []
+
+    def client():
+        yield system.kernel.timeout(0.01)
+        response = yield system.server.handle_request(
+            HttpRequest(url="/toy/greet", operation="greet", idempotent=False)
+        )
+        responses.append(response)
+
+    system.kernel.process(client())
+    system.kernel.process(system.coordinator.microreboot(["Greeter"]))
+    system.kernel.run(until=5.0)
+    assert responses[0].status == HttpStatus.INTERNAL_SERVER_ERROR
+
+
+def test_drain_delay_lets_inflight_requests_complete():
+    system = build_toy_system(retry_policy=RetryPolicy.delay_and_retry())
+    responses = []
+
+    def client():
+        response = yield system.server.handle_request(
+            HttpRequest(url="/toy/greet", operation="greet")
+        )
+        responses.append(response)
+
+    def delayed_urb():
+        yield system.kernel.timeout(0.008)  # request is inside Greeter now
+        yield from system.coordinator.microreboot(["Greeter"])
+
+    system.kernel.process(client())  # enters Greeter at t≈0
+    system.kernel.process(delayed_urb())
+    system.kernel.run(until=5.0)
+    assert responses[0].status == HttpStatus.OK  # finished during the drain
+
+
+def test_without_drain_inflight_requests_are_killed():
+    system = build_toy_system(retry_policy=RetryPolicy.retry_only())
+    responses = []
+
+    def client():
+        response = yield system.server.handle_request(
+            HttpRequest(url="/toy/greet", operation="greet")
+        )
+        responses.append(response)
+
+    def delayed_urb():
+        yield system.kernel.timeout(0.008)  # request is inside Greeter now
+        yield from system.coordinator.microreboot(["Greeter"])
+
+    system.kernel.process(client())
+    system.kernel.process(delayed_urb())
+    system.kernel.run(until=5.0)
+    assert responses[0].network_error  # thread killed mid-flight
+
+
+def test_microreboot_war_sweeps_corrupt_sessions():
+    from repro.stores.sessions import SessionData
+
+    system = build_toy_system()
+    store = system.server.session_store
+    good = SessionData("good", 1)
+    good.attributes = {"user_id": 1}
+    bad = SessionData("bad", 2)
+    bad.attributes = {"user_id": 2}
+    store.write("good", good)
+    store.write("bad", bad)
+    store._raw("bad").attributes = None
+    event = run(system, system.coordinator.microreboot_war())
+    assert event.level == "war"
+    assert store.read("bad") is None
+    assert store.read("good") is not None
+
+
+def test_restart_application_duration_and_loaders():
+    system = build_toy_system()
+    old_loader = system.server.containers["Greeter"].classloader
+    start = system.kernel.now
+    event = run(system, system.coordinator.restart_application())
+    timing = system.server.timing
+    expected = (
+        timing.app_restart_crash_time
+        + timing.app_restart_reinit_time
+        + timing.gc_pause_after_urb
+    )
+    assert system.kernel.now - start == pytest.approx(expected, rel=1e-6)
+    assert event.level == "application"
+    assert system.server.containers["Greeter"].classloader is not old_loader
+    response = issue(system, "/toy/greet")
+    assert response.status == HttpStatus.OK
+
+
+def test_events_log_accumulates():
+    system = build_toy_system()
+    run(system, system.coordinator.microreboot(["Greeter"]))
+    run(system, system.coordinator.restart_application())
+    assert [e.level for e in system.coordinator.events] == ["ejb", "application"]
+    assert system.coordinator.microreboot_count == 1
+    assert system.coordinator.app_restart_count == 1
+
+
+def test_estimated_recovery_time_covers_group_and_drain():
+    system = build_toy_system(retry_policy=RetryPolicy.delay_and_retry())
+    estimate = system.coordinator.estimated_recovery_time(["Account"])
+    assert estimate == pytest.approx(0.2 + 0.005 + 0.100 + 0.005 + 0.120)

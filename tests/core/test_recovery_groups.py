@@ -1,0 +1,81 @@
+"""Unit tests for recovery-group computation."""
+
+import pytest
+
+from repro.appserver.descriptors import ComponentKind, DeploymentDescriptor
+from repro.appserver.component import StatelessSessionBean
+from repro.core.recovery_groups import compute_recovery_groups
+
+
+def descriptor(name, group_references=()):
+    return DeploymentDescriptor(
+        name=name,
+        kind=ComponentKind.STATELESS_SESSION,
+        factory=StatelessSessionBean,
+        group_references=group_references,
+    )
+
+
+def test_singletons_without_references():
+    groups = compute_recovery_groups([descriptor("A"), descriptor("B")])
+    assert groups["A"] == frozenset({"A"})
+    assert groups["B"] == frozenset({"B"})
+
+
+def test_direct_reference_merges():
+    groups = compute_recovery_groups(
+        [descriptor("A", ("B",)), descriptor("B")]
+    )
+    assert groups["A"] == groups["B"] == frozenset({"A", "B"})
+
+
+def test_references_are_symmetric():
+    """B never names A, yet B joins A's group: the metadata coupling cuts
+    both ways (§3.2)."""
+    groups = compute_recovery_groups([descriptor("A", ("B",)), descriptor("B")])
+    assert "A" in groups["B"]
+
+
+def test_transitive_closure():
+    groups = compute_recovery_groups(
+        [
+            descriptor("A", ("B",)),
+            descriptor("B", ("C",)),
+            descriptor("C"),
+            descriptor("D"),
+        ]
+    )
+    assert groups["A"] == frozenset({"A", "B", "C"})
+    assert groups["D"] == frozenset({"D"})
+
+
+def test_cycles_are_fine():
+    groups = compute_recovery_groups(
+        [descriptor("A", ("B",)), descriptor("B", ("A",))]
+    )
+    assert groups["A"] == frozenset({"A", "B"})
+
+
+def test_unknown_reference_rejected():
+    with pytest.raises(ValueError):
+        compute_recovery_groups([descriptor("A", ("Ghost",))])
+
+
+def test_two_disjoint_groups():
+    groups = compute_recovery_groups(
+        [
+            descriptor("A", ("B",)),
+            descriptor("B"),
+            descriptor("X", ("Y",)),
+            descriptor("Y"),
+        ]
+    )
+    assert groups["A"] == frozenset({"A", "B"})
+    assert groups["X"] == frozenset({"X", "Y"})
+    assert groups["A"] != groups["X"]
+
+
+def test_every_component_has_a_group():
+    names = [f"C{i}" for i in range(10)]
+    groups = compute_recovery_groups([descriptor(n) for n in names])
+    assert set(groups) == set(names)

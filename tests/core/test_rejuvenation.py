@@ -1,0 +1,111 @@
+"""Tests for the microrejuvenation service (§6.4)."""
+
+import pytest
+
+from repro.core import RejuvenationService
+from tests.toyapp import build_toy_system
+
+MB = 1024 * 1024
+
+
+def make_service(system, **kwargs):
+    defaults = dict(
+        m_alarm_fraction=0.35, m_sufficient_fraction=0.80, check_interval=1.0
+    )
+    defaults.update(kwargs)
+    service = RejuvenationService(system.kernel, system.coordinator, **defaults)
+    service.start()
+    return service
+
+
+def test_threshold_validation():
+    system = build_toy_system()
+    with pytest.raises(ValueError):
+        RejuvenationService(
+            system.kernel, system.coordinator,
+            m_alarm_fraction=0.9, m_sufficient_fraction=0.5,
+        )
+
+
+def test_no_action_while_memory_is_plentiful():
+    system = build_toy_system()
+    service = make_service(system)
+    system.kernel.run(until=10.0)
+    assert service.rejuvenation_rounds == 0
+    assert system.coordinator.microreboot_count == 0
+
+
+def test_alarm_triggers_rolling_microreboots():
+    system = build_toy_system()
+    heap = system.server.heap
+    service = make_service(system)
+    # Leak enough to cross Malarm (available < 35% of capacity).
+    heap.leak("Greeter", int(heap.capacity * 0.60))
+    system.kernel.run(until=10.0)
+    assert service.rejuvenation_rounds >= 1
+    assert heap.available >= service.m_sufficient
+    assert heap.leaked_by("Greeter") == 0
+
+
+def test_learning_reorders_candidates_by_released_memory():
+    system = build_toy_system()
+    heap = system.server.heap
+    service = make_service(system)
+    heap.leak("Greeter", int(heap.capacity * 0.55))
+    heap.leak("Audit", int(heap.capacity * 0.10))
+    system.kernel.run(until=10.0)
+    assert service.candidates[0] == "Greeter"
+    assert service.candidates[1] == "Audit"
+
+
+def test_second_round_tries_biggest_leaker_first():
+    system = build_toy_system()
+    heap = system.server.heap
+    service = make_service(system)
+    heap.leak("Greeter", int(heap.capacity * 0.60))
+    system.kernel.run(until=10.0)
+    first_round_urbs = service.microreboots_performed
+    assert first_round_urbs >= 1
+    # Leak again: this time one targeted µRB should suffice.
+    heap.leak("Greeter", int(heap.capacity * 0.60))
+    system.kernel.run(until=20.0)
+    assert service.rejuvenation_rounds == 2
+    assert service.microreboots_performed == first_round_urbs + 1
+
+
+def test_jvm_restart_when_microreboots_cannot_reclaim():
+    from repro.appserver.memory import OWNER_SERVER
+
+    system = build_toy_system()
+    heap = system.server.heap
+    service = make_service(system)
+    # The leak is *outside* the application: no component µRB frees it.
+    heap.leak(OWNER_SERVER, int(heap.capacity * 0.60))
+    system.kernel.run(until=60.0)
+    assert service.jvm_restarts_performed >= 1
+    assert heap.leaked_total == 0
+
+
+def test_memory_timeline_is_recorded():
+    system = build_toy_system()
+    service = make_service(system, check_interval=2.0)
+    system.kernel.run(until=9.0)
+    times = [t for t, _ in service.memory_samples]
+    assert times == [2.0, 4.0, 6.0, 8.0]
+
+
+def test_group_members_not_rebooted_twice_in_a_round():
+    system = build_toy_system()
+    heap = system.server.heap
+    service = make_service(system)
+    heap.leak(
+        "ToyWAR", int(heap.capacity * 0.60)
+    )  # forces a full sweep in round one
+    system.kernel.run(until=30.0)
+    # Account and Ledger share a recovery group: the sweep must recycle
+    # the group once, not once per member.
+    group_events = [
+        e for e in system.coordinator.events
+        if set(e.components) == {"Account", "Ledger"}
+    ]
+    assert len(group_events) <= service.rejuvenation_rounds

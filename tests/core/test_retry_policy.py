@@ -1,0 +1,29 @@
+"""Unit tests for the retry policy configuration (§6.2)."""
+
+from repro.core.retry import RetryPolicy
+
+
+def test_disabled_baseline():
+    policy = RetryPolicy.disabled()
+    assert not policy.enabled
+    assert policy.drain_delay == 0.0
+
+
+def test_retry_only_matches_table6_column():
+    policy = RetryPolicy.retry_only()
+    assert policy.enabled
+    assert policy.drain_delay == 0.0
+    assert policy.retry_after == 2.0  # the paper's [Retry-After 2 seconds]
+
+
+def test_delay_and_retry_uses_200ms_drain():
+    policy = RetryPolicy.delay_and_retry()
+    assert policy.enabled
+    assert policy.drain_delay == 0.2
+
+
+def test_custom_policy():
+    policy = RetryPolicy(enabled=True, retry_after=5.0, max_retries=1,
+                         drain_delay=0.05)
+    assert policy.retry_after == 5.0
+    assert policy.max_retries == 1

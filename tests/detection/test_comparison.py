@@ -1,0 +1,85 @@
+"""Tests for the comparison-based detector against a known-good shadow."""
+
+import pytest
+
+from repro.appserver.http import HttpRequest
+from repro.core.recovery_manager import FailureKind
+from repro.detection.comparison import COMPARABLE_FIELDS, ComparisonDetector
+from repro.ebid.app import build_ebid_system
+from repro.ebid.descriptors import OPERATIONS
+from repro.ebid.schema import DatasetConfig
+from repro.faults import FaultInjector
+from repro.faults.corruption import CorruptionMode
+
+
+@pytest.fixture
+def rig():
+    """Main + shadow systems on one kernel, same seed/dataset."""
+    main = build_ebid_system(dataset=DatasetConfig.tiny(), seed=5)
+    shadow = build_ebid_system(
+        kernel=main.kernel, dataset=DatasetConfig.tiny(), seed=5, name="shadow"
+    )
+    return main, shadow, ComparisonDetector(shadow)
+
+
+def check(main, detector, url, params=None, cookie=None):
+    request = HttpRequest(
+        url=url, operation=url.rsplit("/", 1)[-1], params=params or {},
+        cookie=cookie,
+    )
+    response = main.kernel.run_until_triggered(main.server.handle_request(request))
+
+    def driver():
+        verdict = yield from detector.check(request, response)
+        return verdict, response
+
+    return main.kernel.run_until_triggered(main.kernel.process(driver()))
+
+
+def test_every_operation_has_a_field_whitelist():
+    for operation in OPERATIONS:
+        assert operation in COMPARABLE_FIELDS, operation
+
+
+def test_identical_systems_agree(rig):
+    main, _shadow, detector = rig
+    for url, params in (
+        ("/ebid/ViewItem", {"item_id": 3}),
+        ("/ebid/BrowseCategories", None),
+        ("/ebid/SearchItemsByCategory", {"category_id": 1}),
+        ("/ebid/ViewUserInfo", {"user_id": 2}),
+    ):
+        verdict, _response = check(main, detector, url, params)
+        assert verdict is None, url
+    assert detector.mismatches == 0
+    assert detector.checks == 4
+
+
+def test_wrong_dollar_amount_detected(rig):
+    """The paper's flagship case: surreptitious corruption of a price."""
+    main, _shadow, detector = rig
+    FaultInjector(main).corrupt_session_bean_attribute(CorruptionMode.WRONG)
+    verdict, response = check(main, detector, "/ebid/ViewItem", {"item_id": 3})
+    assert verdict is FailureKind.COMPARISON_MISMATCH
+    assert response.payload["price"] != 0
+
+
+def test_status_divergence_detected(rig):
+    main, _shadow, detector = rig
+    FaultInjector(main).inject_transient_exception("BrowseCategories")
+    verdict, _response = check(main, detector, "/ebid/BrowseCategories")
+    assert verdict is FailureKind.COMPARISON_MISMATCH
+
+
+def test_cookie_translation_for_sessions(rig):
+    main, _shadow, detector = rig
+    verdict, login = check(
+        main, detector, "/ebid/Authenticate",
+        {"user_id": 1, "password": "pw1"},
+    )
+    assert verdict is None
+    cookie = login.payload["cookie"]
+    assert detector._cookie_map[cookie]  # learned the shadow's cookie
+    verdict, about = check(main, detector, "/ebid/AboutMe", cookie=cookie)
+    assert verdict is None
+    assert about.payload["nickname"] == "user1"

@@ -1,0 +1,95 @@
+"""Tests for the simple client-side detector."""
+
+import pytest
+
+from repro.appserver.http import HttpRequest, HttpResponse, HttpStatus
+from repro.core.recovery_manager import FailureKind
+from repro.detection.simple import SimpleDetector
+
+
+def request(op="ViewItem"):
+    return HttpRequest(url=f"/ebid/{op}", operation=op)
+
+
+def response(status=HttpStatus.OK, body="<html>fine</html>", payload=None,
+             network_error=False):
+    return HttpResponse(status=status, body=body, payload=payload or {},
+                        network_error=network_error)
+
+
+@pytest.fixture
+def detector():
+    return SimpleDetector()
+
+
+def test_healthy_response_passes(detector):
+    assert detector.evaluate(request(), response()) is None
+
+
+def test_no_response_is_timeout(detector):
+    assert detector.evaluate(request(), None) is FailureKind.TIMEOUT
+
+
+def test_network_error(detector):
+    r = response(network_error=True, body="network error: connection refused")
+    assert detector.evaluate(request(), r) is FailureKind.NETWORK
+
+
+def test_http_5xx(detector):
+    r = response(status=HttpStatus.INTERNAL_SERVER_ERROR, body="<html>error</html>")
+    assert detector.evaluate(request(), r) is FailureKind.HTTP_ERROR
+
+
+def test_http_404(detector):
+    r = response(status=HttpStatus.NOT_FOUND, body="x")
+    assert detector.evaluate(request(), r) is FailureKind.HTTP_ERROR
+
+
+def test_oom_signature_is_resource_exhaustion(detector):
+    r = response(
+        status=HttpStatus.INTERNAL_SERVER_ERROR,
+        body="<html>error: exception: heap exhausted while allocating</html>",
+    )
+    assert detector.evaluate(request(), r) is FailureKind.RESOURCE_EXHAUSTION
+
+
+@pytest.mark.parametrize("keyword", ["exception", "failed", "error"])
+def test_keyword_scan_on_200_pages(detector, keyword):
+    """Incorrectly-handled exceptions render 200 pages with telltale text."""
+    r = response(body=f"<html>We are sorry, an {keyword} occurred</html>")
+    assert detector.evaluate(request(), r) is FailureKind.KEYWORD
+
+
+def test_benign_rejection_not_flagged(detector):
+    r = response(body="<html>bid rejected: amount below minimum</html>")
+    assert detector.evaluate(request(), r) is None
+
+
+def test_login_prompt_while_logged_in(detector):
+    r = response(body="<html>Please log in to continue</html>",
+                 payload={"login_required": True})
+    assert (
+        detector.evaluate(request(), r, believes_logged_in=True)
+        is FailureKind.APP_SPECIFIC
+    )
+
+
+def test_login_prompt_while_logged_out_is_fine(detector):
+    r = response(payload={"login_required": True})
+    assert detector.evaluate(request(), r, believes_logged_in=False) is None
+
+
+def test_negative_id_detected(detector):
+    """The paper's canonical example: negative item IDs in the reply."""
+    r = response(payload={"item_id": -99999, "price": 10})
+    assert detector.evaluate(request(), r) is FailureKind.APP_SPECIFIC
+
+
+def test_negative_id_in_list_detected(detector):
+    r = response(payload={"item_ids": [3, -7, 9]})
+    assert detector.evaluate(request(), r) is FailureKind.APP_SPECIFIC
+
+
+def test_non_integer_ids_ignored(detector):
+    r = response(payload={"buy_id": None, "item_id": 5})
+    assert detector.evaluate(request(), r) is None

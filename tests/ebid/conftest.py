@@ -1,0 +1,37 @@
+"""Shared fixtures for eBid tests."""
+
+import pytest
+
+from repro.appserver.http import HttpRequest
+from repro.ebid.app import build_ebid_system
+from repro.ebid.schema import DatasetConfig
+
+
+@pytest.fixture
+def ebid():
+    """A booted single-node eBid system with a tiny dataset."""
+    return build_ebid_system(dataset=DatasetConfig.tiny(), seed=7)
+
+
+def issue(system, url, params=None, cookie=None, idempotent=True):
+    """Issue one request and run until its response."""
+    request = HttpRequest(
+        url=url,
+        operation=url.rsplit("/", 1)[-1],
+        params=params or {},
+        cookie=cookie,
+        idempotent=idempotent,
+    )
+    event = system.server.handle_request(request)
+    return system.kernel.run_until_triggered(event)
+
+
+def login(system, user_id=1):
+    """Log a user in; returns the session cookie."""
+    response = issue(
+        system,
+        "/ebid/Authenticate",
+        {"user_id": user_id, "password": f"pw{user_id}"},
+    )
+    assert response.payload.get("cookie"), response.body
+    return response.payload["cookie"]

@@ -1,0 +1,105 @@
+"""Tests for the database integrity audit and manual repair."""
+
+import random
+
+from repro.ebid.audit import audit_database, manual_repair
+from repro.ebid.schema import DatasetConfig, create_schema, populate_dataset
+from repro.sim import Kernel
+from repro.stores.database import Database
+
+
+def make_db():
+    database = Database(Kernel())
+    create_schema(database)
+    populate_dataset(database, random.Random(3), DatasetConfig.tiny())
+    return database
+
+
+def snapshots(database):
+    return {name: database.snapshot(name) for name in database.tables}
+
+
+def test_fresh_dataset_is_clean():
+    assert audit_database(make_db()) == []
+
+
+def test_detects_out_of_range_keys():
+    database = make_db()
+    database.insert("feedback", {"id": 50_000, "from_user_id": 1,
+                                 "to_user_id": 2, "rating": 1, "comment": "x"})
+    violations = audit_database(database)
+    assert any("high-water" in v for v in violations)
+
+
+def test_detects_negative_keys():
+    database = make_db()
+    database.tables["bids"].put_row(-5, {"id": -5, "item_id": 1,
+                                         "user_id": 1, "amount": 1,
+                                         "quantity": 1})
+    assert any("non-positive" in v for v in audit_database(database))
+
+
+def test_detects_aggregate_mismatch():
+    database = make_db()
+    database._corrupt_row("items", 3, "nb_of_bids", 999)
+    assert any("nb_of_bids" in v for v in audit_database(database))
+
+
+def test_detects_max_bid_mismatch():
+    database = make_db()
+    item = database.read("items", 5)
+    database._corrupt_row("items", 5, "max_bid", item["max_bid"] + 12345)
+    assert any("max_bid" in v for v in audit_database(database))
+
+
+def test_detects_duplicate_bid_amounts():
+    database = make_db()
+    bid = database.read("bids", 1)
+    clone = dict(bid)
+    clone["id"] = database.max_pk("bids")  # below high-water mark
+    database.tables["bids"].put_row(clone["id"], clone)
+    assert any("duplicate amount" in v for v in audit_database(database))
+
+
+def test_detects_type_corruption():
+    database = make_db()
+    database._corrupt_row("items", 2, "max_bid", "garbage")
+    assert any("max_bid" in v for v in audit_database(database))
+
+
+def test_repair_fixes_out_of_range_rows():
+    database = make_db()
+    reference = snapshots(database)
+    database.insert("feedback", {"id": 50_000, "from_user_id": 1,
+                                 "to_user_id": 2, "rating": 1, "comment": "x"})
+    touched = manual_repair(database, reference)
+    assert touched >= 1
+    assert audit_database(database) == []
+    assert database.read("feedback", 50_000) is None
+
+
+def test_repair_restores_corrupted_fields_and_aggregates():
+    database = make_db()
+    reference = snapshots(database)
+    database._corrupt_row("items", 2, "max_bid", "garbage")
+    database._corrupt_row("items", 3, "nb_of_bids", 999)
+    manual_repair(database, reference)
+    assert audit_database(database) == []
+
+
+def test_repair_preserves_legit_new_rows():
+    database = make_db()
+    reference = snapshots(database)
+    # A legitimate new bid, within the allocated range, after the snapshot.
+    seq = [r for r in database.tables["id_sequences"].rows.values()
+           if r["relation"] == "bids"][0]
+    new_id = seq["next_value"]
+    database.update("id_sequences", seq["id"], {"next_value": new_id + 1})
+    item = database.read("items", 1)
+    database.insert("bids", {"id": new_id, "item_id": 1, "user_id": 1,
+                             "amount": item["max_bid"] + 7, "quantity": 1})
+    database.update("items", 1, {"max_bid": item["max_bid"] + 7,
+                                 "nb_of_bids": item["nb_of_bids"] + 1})
+    manual_repair(database, reference)
+    assert database.read("bids", new_id) is not None
+    assert audit_database(database) == []

@@ -1,0 +1,87 @@
+"""Tests for eBid's deployment descriptors and metadata maps."""
+
+import pytest
+
+from repro.appserver.descriptors import ComponentKind
+from repro.core.recovery_groups import compute_recovery_groups
+from repro.ebid.descriptors import (
+    ENTITY_GROUP,
+    FUNCTIONAL_GROUPS,
+    OPERATIONS,
+    URL_PATH_MAP,
+    ebid_descriptors,
+    operation_url,
+)
+
+
+def test_component_inventory_matches_paper():
+    """9 entity beans + 17 stateless session beans + the WAR (§3.3)."""
+    descriptors = ebid_descriptors()
+    by_kind = {}
+    for descriptor in descriptors:
+        by_kind.setdefault(descriptor.kind, []).append(descriptor.name)
+    assert len(by_kind[ComponentKind.ENTITY]) == 9
+    assert len(by_kind[ComponentKind.STATELESS_SESSION]) == 17
+    assert by_kind[ComponentKind.WEB] == ["EbidWAR"]
+
+
+def test_entity_group_is_the_papers():
+    groups = compute_recovery_groups(ebid_descriptors())
+    assert groups["Item"] == ENTITY_GROUP
+    assert ENTITY_GROUP == {"Category", "Region", "User", "Item", "Bid"}
+
+
+def test_non_group_components_are_singletons():
+    groups = compute_recovery_groups(ebid_descriptors())
+    for name in ("IdentityManager", "OldItem", "UserFeedback", "BuyNow",
+                 "ViewItem", "EbidWAR"):
+        assert groups[name] == frozenset({name}), name
+
+
+def test_entity_group_times_match_table3():
+    """Group crash 36 ms, group reinit 789 ms (Table 3's EntityGroup row)."""
+    descriptors = {d.name: d for d in ebid_descriptors()}
+    crash = sum(descriptors[n].crash_time for n in ENTITY_GROUP)
+    reinit = sum(descriptors[n].reinit_time for n in ENTITY_GROUP)
+    assert crash == pytest.approx(0.036)
+    assert reinit == pytest.approx(0.789)
+
+
+def test_individual_urb_times_in_paper_range():
+    """Table 3: individual EJB µRBs range 411-601 ms."""
+    for descriptor in ebid_descriptors():
+        if descriptor.kind is ComponentKind.WEB:
+            continue
+        if descriptor.name in ENTITY_GROUP:
+            continue
+        assert 0.411 <= descriptor.microreboot_time <= 0.601, descriptor.name
+
+
+def test_war_times_match_table3():
+    war = next(d for d in ebid_descriptors() if d.name == "EbidWAR")
+    assert war.crash_time == pytest.approx(0.071)
+    assert war.reinit_time == pytest.approx(0.957)
+
+
+def test_every_operation_has_a_url_path():
+    for operation in OPERATIONS:
+        url = operation_url(operation)
+        assert url in URL_PATH_MAP, url
+
+
+def test_url_paths_reference_real_components():
+    names = {d.name for d in ebid_descriptors()}
+    for url, path in URL_PATH_MAP.items():
+        assert path[0] == "EbidWAR", url
+        for component in path:
+            assert component in names, (url, component)
+
+
+def test_functional_groups_cover_all_operations():
+    for name, (_category, _idempotent, group) in OPERATIONS.items():
+        assert group in FUNCTIONAL_GROUPS, name
+
+
+def test_identity_manager_is_single_instance():
+    descriptor = next(d for d in ebid_descriptors() if d.name == "IdentityManager")
+    assert descriptor.pool_size == 1

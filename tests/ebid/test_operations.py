@@ -1,0 +1,218 @@
+"""End-to-end tests of every eBid user operation through the HTTP path."""
+
+import pytest
+
+from repro.appserver.http import HttpStatus
+from repro.ebid.descriptors import OPERATIONS
+from tests.ebid.conftest import issue, login
+
+
+class TestStaticOperations:
+    @pytest.mark.parametrize(
+        "operation",
+        ["HomePage", "Browse", "Help", "LoginForm", "RegisterUserForm",
+         "SellItemForm"],
+    )
+    def test_static_pages_serve(self, ebid, operation):
+        response = issue(ebid, f"/ebid/{operation}")
+        assert response.status == HttpStatus.OK
+        assert "static page" in response.body
+
+
+class TestSessionLifecycle:
+    def test_login_issues_cookie(self, ebid):
+        response = issue(
+            ebid, "/ebid/Authenticate", {"user_id": 3, "password": "pw3"}
+        )
+        assert response.status == HttpStatus.OK
+        assert response.payload["user_id"] == 3
+        assert ebid.session_store.read(response.payload["cookie"]) is not None
+
+    def test_login_with_bad_password_fails(self, ebid):
+        response = issue(
+            ebid, "/ebid/Authenticate", {"user_id": 3, "password": "nope"}
+        )
+        assert response.status == HttpStatus.INTERNAL_SERVER_ERROR
+
+    def test_logout_deletes_session(self, ebid):
+        cookie = login(ebid)
+        response = issue(ebid, "/ebid/Logout", cookie=cookie)
+        assert response.payload["logged_out"] == 1
+        assert ebid.session_store.read(cookie) is None
+
+    def test_register_creates_user_and_session(self, ebid):
+        response = issue(
+            ebid,
+            "/ebid/RegisterNewUser",
+            {"nickname": "fresh", "password": "x", "region_id": 1},
+        )
+        assert response.status == HttpStatus.OK
+        user_id = response.payload["user_id"]
+        assert ebid.database.read("users", user_id)["nickname"] == "fresh"
+        assert ebid.session_store.read(response.payload["cookie"]) is not None
+
+    def test_protected_op_without_login_prompts(self, ebid):
+        response = issue(ebid, "/ebid/AboutMe")
+        assert response.status == HttpStatus.OK
+        assert response.payload["login_required"]
+
+
+class TestBrowseAndSearch:
+    def test_browse_categories(self, ebid):
+        response = issue(ebid, "/ebid/BrowseCategories")
+        assert len(response.payload["categories"]) == ebid.dataset.categories
+
+    def test_browse_regions(self, ebid):
+        response = issue(ebid, "/ebid/BrowseRegions")
+        assert len(response.payload["regions"]) == ebid.dataset.regions
+
+    def test_view_item(self, ebid):
+        response = issue(ebid, "/ebid/ViewItem", {"item_id": 5})
+        assert response.payload["item_id"] == 5
+        assert response.payload["price"] > 0
+
+    def test_view_missing_item_is_error(self, ebid):
+        response = issue(ebid, "/ebid/ViewItem", {"item_id": 99999})
+        assert response.status == HttpStatus.INTERNAL_SERVER_ERROR
+
+    def test_view_item_is_cached_in_war(self, ebid):
+        issue(ebid, "/ebid/ViewItem", {"item_id": 5})
+        war = ebid.server.containers["EbidWAR"].instances[0]
+        assert war.cache_get(("item", 5)) is not None
+
+    def test_view_past_auctions_uses_old_items(self, ebid):
+        response = issue(ebid, "/ebid/ViewPastAuctions")
+        assert len(response.payload["old_item_ids"]) > 0
+
+    def test_view_user_info(self, ebid):
+        response = issue(ebid, "/ebid/ViewUserInfo", {"user_id": 2})
+        assert response.payload["nickname"] == "user2"
+
+    def test_view_bid_history(self, ebid):
+        response = issue(ebid, "/ebid/ViewBidHistory", {"item_id": 3})
+        assert response.payload["item_id"] == 3
+        assert isinstance(response.payload["bid_ids"], list)
+
+    def test_search_by_category(self, ebid):
+        response = issue(
+            ebid, "/ebid/SearchItemsByCategory", {"category_id": 1}
+        )
+        assert response.status == HttpStatus.OK
+        for item_id in response.payload["item_ids"]:
+            assert ebid.database.read("items", item_id)["category_id"] == 1
+
+    def test_search_by_region(self, ebid):
+        response = issue(ebid, "/ebid/SearchItemsByRegion", {"region_id": 2})
+        assert response.status == HttpStatus.OK
+
+    def test_about_me_summarizes_activity(self, ebid):
+        cookie = login(ebid, user_id=1)
+        response = issue(ebid, "/ebid/AboutMe", cookie=cookie)
+        assert response.payload["nickname"] == "user1"
+        assert "bid_count" in response.payload
+
+
+class TestBidBuySellFlows:
+    def _place_bid(self, ebid, cookie, item_id, increment=5):
+        prepare = issue(ebid, "/ebid/MakeBid", {"item_id": item_id}, cookie)
+        assert prepare.status == HttpStatus.OK
+        amount = prepare.payload["current_bid"] + increment
+        return issue(ebid, "/ebid/CommitBid", {"amount": amount}, cookie), amount
+
+    def test_full_bid_flow_updates_database(self, ebid):
+        cookie = login(ebid)
+        before = ebid.database.read("items", 7)
+        commit, amount = self._place_bid(ebid, cookie, 7)
+        assert commit.payload["accepted"]
+        after = ebid.database.read("items", 7)
+        assert after["max_bid"] == amount
+        assert after["nb_of_bids"] == before["nb_of_bids"] + 1
+        assert ebid.database.read("bids", commit.payload["bid_id"]) is not None
+
+    def test_lowball_bid_rejected(self, ebid):
+        cookie = login(ebid)
+        commit, _amount = self._place_bid(ebid, cookie, 7, increment=0)
+        assert commit.status == HttpStatus.OK
+        assert not commit.payload["accepted"]
+        assert "rejected" in commit.body
+
+    def test_commit_bid_without_selection_fails(self, ebid):
+        cookie = login(ebid)
+        response = issue(ebid, "/ebid/CommitBid", {"amount": 10}, cookie)
+        assert response.status == HttpStatus.INTERNAL_SERVER_ERROR
+        assert "session state missing" in response.body
+
+    def test_bid_commit_invalidates_item_cache(self, ebid):
+        cookie = login(ebid)
+        issue(ebid, "/ebid/ViewItem", {"item_id": 7})
+        war = ebid.server.containers["EbidWAR"].instances[0]
+        assert war.cache_get(("item", 7)) is not None
+        self._place_bid(ebid, cookie, 7)
+        assert war.cache_get(("item", 7)) is None
+
+    def test_buy_now_flow(self, ebid):
+        cookie = login(ebid)
+        prepare = issue(ebid, "/ebid/DoBuyNow", {"item_id": 4}, cookie)
+        assert prepare.payload["buy_now_price"] > 0
+        commit = issue(ebid, "/ebid/CommitBuyNow", {}, cookie)
+        assert commit.payload["buy_id"] is not None
+        buy = ebid.database.read("buys", commit.payload["buy_id"])
+        assert buy["buyer_id"] == 1 and buy["item_id"] == 4
+
+    def test_buy_now_depletes_quantity(self, ebid):
+        cookie = login(ebid)
+        before = ebid.database.read("items", 4)["quantity"]
+        issue(ebid, "/ebid/DoBuyNow", {"item_id": 4}, cookie)
+        issue(ebid, "/ebid/CommitBuyNow", {}, cookie)
+        assert ebid.database.read("items", 4)["quantity"] == before - 1
+
+    def test_sold_out_item_is_polite_response(self, ebid):
+        cookie = login(ebid)
+        item_id = 4
+        quantity = ebid.database.read("items", item_id)["quantity"]
+        for _ in range(quantity + 1):
+            issue(ebid, "/ebid/DoBuyNow", {"item_id": item_id}, cookie)
+            commit = issue(ebid, "/ebid/CommitBuyNow", {}, cookie)
+        assert commit.status == HttpStatus.OK
+        assert commit.payload.get("sold_out")
+
+    def test_register_new_item(self, ebid):
+        cookie = login(ebid, user_id=2)
+        response = issue(
+            ebid,
+            "/ebid/RegisterNewItem",
+            {"name": "rare vase", "category_id": 2, "region_id": 1,
+             "initial_price": 50},
+            cookie,
+        )
+        item = ebid.database.read("items", response.payload["item_id"])
+        assert item["seller_id"] == 2
+        assert item["max_bid"] == 50
+
+    def test_feedback_flow_updates_rating(self, ebid):
+        cookie = login(ebid, user_id=1)
+        before = ebid.database.read("users", 2)["rating"]
+        issue(ebid, "/ebid/LeaveUserFeedback", {"to_user_id": 2}, cookie)
+        response = issue(
+            ebid, "/ebid/CommitUserFeedback",
+            {"rating": 1, "comment": "great"}, cookie,
+        )
+        assert response.payload["to_user_id"] == 2
+        assert ebid.database.read("users", 2)["rating"] == before + 1
+
+
+class TestOperationMetadata:
+    def test_twenty_five_operations(self):
+        assert len(OPERATIONS) == 25
+
+    def test_commit_operations_not_idempotent(self):
+        for name in ("CommitBid", "CommitBuyNow", "RegisterNewItem",
+                     "CommitUserFeedback", "RegisterNewUser"):
+            _category, idempotent, _group = OPERATIONS[name]
+            assert not idempotent, name
+
+    def test_reads_are_idempotent(self):
+        for name in ("ViewItem", "BrowseCategories", "SearchItemsByCategory",
+                     "AboutMe", "HomePage"):
+            _category, idempotent, _group = OPERATIONS[name]
+            assert idempotent, name

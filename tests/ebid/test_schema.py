@@ -1,0 +1,107 @@
+"""Unit tests for the eBid schema and dataset generator."""
+
+import random
+
+import pytest
+
+from repro.ebid.schema import (
+    DatasetConfig,
+    KEYED_TABLES,
+    TABLES,
+    create_schema,
+    populate_dataset,
+)
+from repro.sim import Kernel
+from repro.stores.database import Database
+
+
+def make_db(config=None):
+    database = Database(Kernel())
+    create_schema(database)
+    populate_dataset(database, random.Random(0), config or DatasetConfig.tiny())
+    return database
+
+
+def test_all_tables_created():
+    database = Database(Kernel())
+    create_schema(database)
+    assert set(database.tables) == set(TABLES)
+
+
+def test_row_counts_match_config():
+    config = DatasetConfig.tiny()
+    database = make_db(config)
+    assert database.count("users") == config.users
+    assert database.count("items") == config.items
+    assert database.count("bids") == config.bids
+    assert database.count("old_items") == config.old_items
+    assert database.count("feedback") == config.feedback
+
+
+def test_scaled_config_preserves_paper_ratios():
+    full = DatasetConfig.scaled(100)
+    assert full.users == 10_000
+    assert full.items == 132_000
+    assert full.bids == 1_500_000
+
+
+def test_default_is_one_percent_of_paper():
+    config = DatasetConfig()
+    assert config.items / config.users == pytest.approx(13.2)
+    assert config.bids / config.items == pytest.approx(11.36, rel=0.01)
+
+
+def test_items_reference_valid_sellers_and_categories(ebid=None):
+    config = DatasetConfig.tiny()
+    database = make_db(config)
+    for item in database.tables["items"].rows.values():
+        assert 1 <= item["seller_id"] <= config.users
+        assert 1 <= item["category_id"] <= config.categories
+        assert 1 <= item["region_id"] <= config.regions
+
+
+def test_item_aggregates_consistent_with_bids():
+    database = make_db()
+    for pk, item in database.tables["items"].rows.items():
+        bids = database.select("bids", item_id=pk)
+        assert item["nb_of_bids"] == len(bids)
+        if bids:
+            assert item["max_bid"] == max(b["amount"] for b in bids)
+        else:
+            assert item["max_bid"] == item["initial_price"]
+
+
+def test_bid_amounts_strictly_increase_per_item():
+    database = make_db()
+    per_item = {}
+    for pk in sorted(database.tables["bids"].rows):
+        bid = database.tables["bids"].rows[pk]
+        amounts = per_item.setdefault(bid["item_id"], [])
+        if amounts:
+            assert bid["amount"] > amounts[-1]
+        amounts.append(bid["amount"])
+
+
+def test_sequences_seeded_above_existing_keys():
+    database = make_db()
+    for row in database.tables["id_sequences"].rows.values():
+        assert row["next_value"] == database.max_pk(row["relation"]) + 1
+    assert {r["relation"] for r in database.tables["id_sequences"].rows.values()} == set(
+        KEYED_TABLES
+    )
+
+
+def test_same_seed_same_dataset():
+    first = make_db()
+    second = make_db()
+    assert first.snapshot("items") == second.snapshot("items")
+    assert first.snapshot("bids") == second.snapshot("bids")
+
+
+def test_oversized_config_rejected():
+    database = Database(Kernel())
+    create_schema(database)
+    with pytest.raises(ValueError):
+        populate_dataset(
+            database, random.Random(0), DatasetConfig(categories=999)
+        )

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+def test_every_experiment_registered():
+    expected = {f"table{i}" for i in range(1, 7)} | {
+        f"figure{i}" for i in range(1, 7)
+    } | {"availability"}
+    assert set(EXPERIMENTS) == expected
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_availability(capsys):
+    assert main(["run", "availability"]) == 0
+    out = capsys.readouterr().out
+    assert "683" in out
+    assert "regenerated in" in out
+
+
+def test_run_writes_output_file(tmp_path, capsys):
+    assert main(["run", "availability", "--out-dir", str(tmp_path)]) == 0
+    written = tmp_path / "availability.txt"
+    assert written.exists()
+    assert "six-nines" in written.read_text()
+
+
+def test_run_experiment_handles_signatures():
+    result = run_experiment("availability")
+    assert result.rows
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "nope"])
+
+
+def test_parser_flags():
+    args = build_parser().parse_args(
+        ["run", "figure1", "--quick", "--seed", "9"]
+    )
+    assert args.quick and args.seed == 9 and not args.full

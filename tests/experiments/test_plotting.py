@@ -1,0 +1,64 @@
+"""Tests for the ASCII figure renderers."""
+
+from repro.experiments.plotting import (
+    ascii_bars,
+    ascii_gap_chart,
+    ascii_timeseries,
+)
+
+
+class TestTimeseries:
+    def test_empty_series(self):
+        assert "no data" in ascii_timeseries({}, label="x ")
+
+    def test_flat_series_renders_full_rows(self):
+        chart = ascii_timeseries({i: 5.0 for i in range(50)}, width=40, height=4)
+        lines = chart.splitlines()
+        assert len(lines) == 6  # header + 4 rows + axis
+        assert "▮" in lines[1]
+
+    def test_dip_shows_as_gap_in_top_rows(self):
+        series = {i: (0.0 if 40 <= i < 60 else 100.0) for i in range(100)}
+        chart = ascii_timeseries(series, width=50, height=8)
+        top_row = chart.splitlines()[1]
+        assert " " in top_row.strip("▮") or top_row.count("▮") < 50
+
+    def test_header_reports_ranges(self):
+        chart = ascii_timeseries({0: 1.0, 10: 9.0}, label="taw")
+        assert "taw" in chart
+        assert "x: 0..10" in chart
+
+    def test_single_point(self):
+        chart = ascii_timeseries({5.0: 42.0}, width=10, height=3)
+        assert "▮" in chart
+
+
+class TestGapChart:
+    def test_gaps_blank_out_cells(self):
+        chart = ascii_gap_chart(
+            {"Search": [(10, 20)], "Browse": []}, window=(0, 100), width=50
+        )
+        search_line = next(l for l in chart.splitlines() if "Search" in l)
+        browse_line = next(l for l in chart.splitlines() if "Browse" in l)
+        assert " " in search_line.split("|")[1]
+        assert " " not in browse_line.split("|")[1]
+
+    def test_axis_labels(self):
+        chart = ascii_gap_chart({"G": []}, window=(100, 200))
+        assert "t=100s" in chart and "t=200s" in chart
+
+
+class TestBars:
+    def test_empty(self):
+        assert "no data" in ascii_bars({})
+
+    def test_proportional_lengths(self):
+        chart = ascii_bars({"big": 100, "small": 10}, width=50)
+        big = next(l for l in chart.splitlines() if "big" in l)
+        small = next(l for l in chart.splitlines() if "small" in l)
+        assert big.count("▮") > 4 * small.count("▮")
+
+    def test_zero_value_has_no_bar(self):
+        chart = ascii_bars({"zero": 0, "one": 1})
+        zero_line = next(l for l in chart.splitlines() if "zero" in l)
+        assert "▮" not in zero_line

@@ -1,0 +1,195 @@
+"""Tests for application-level fault injection: each fault manifests
+organically, and the matching recovery genuinely cures it."""
+
+import pytest
+
+from repro.appserver.http import HttpStatus
+from repro.ebid.app import build_ebid_system
+from repro.ebid.schema import DatasetConfig
+from repro.faults import FaultInjector
+from repro.faults.corruption import CorruptionMode
+from tests.ebid.conftest import issue, login
+
+
+@pytest.fixture
+def system():
+    return build_ebid_system(dataset=DatasetConfig.tiny(), seed=9)
+
+
+def urb(system, components):
+    return system.kernel.run_until_triggered(
+        system.kernel.process(system.coordinator.microreboot(components))
+    )
+
+
+class TestDeadlock:
+    def test_calls_hang_until_lease_expiry(self, system):
+        system.server.request_lease_ttl = 1.0
+        FaultInjector(system).inject_deadlock("BrowseCategories")
+        response = issue(system, "/ebid/BrowseCategories")
+        assert response.network_error
+        assert "request-lease-expired" in response.body
+
+    def test_microreboot_kills_stuck_threads_and_cures(self, system):
+        injector = FaultInjector(system)
+        injector.inject_deadlock("BrowseCategories")
+        responses = []
+
+        def client():
+            response = yield system.server.handle_request(
+                __import__(
+                    "repro.appserver.http", fromlist=["HttpRequest"]
+                ).HttpRequest(url="/ebid/BrowseCategories", operation="BrowseCategories")
+            )
+            responses.append(response)
+
+        system.kernel.process(client())
+        system.kernel.run(until=2.0)  # the thread is now stuck
+        assert not responses
+        urb(system, ["BrowseCategories"])
+        system.kernel.run(until=20.0)
+        assert responses and responses[0].network_error  # killed by the µRB
+        assert issue(system, "/ebid/BrowseCategories").status == HttpStatus.OK
+
+
+class TestInfiniteLoop:
+    def test_hog_slows_the_node_and_urb_reclaims(self, system):
+        FaultInjector(system).inject_infinite_loop("ViewItem")
+        issue_event = system.server.handle_request(
+            __import__("repro.appserver.http", fromlist=["HttpRequest"]).HttpRequest(
+                url="/ebid/ViewItem", operation="ViewItem", params={"item_id": 1}
+            )
+        )
+        system.kernel.run(until=1.0)
+        assert system.server.cpu.active_jobs >= 1  # the hog is spinning
+        urb(system, ["ViewItem"])
+        system.kernel.run(until=15.0)
+        assert system.server.cpu._hogs == 0
+        assert issue_event.triggered
+
+
+class TestMemoryLeak:
+    def test_leak_attributed_and_reclaimed(self, system):
+        FaultInjector(system).inject_memory_leak("ViewItem", 1024)
+        for item in (1, 2, 3):
+            issue(system, "/ebid/ViewItem", {"item_id": item})
+        assert system.server.heap.leaked_by("ViewItem") == 3 * 1024
+        event = urb(system, ["ViewItem"])
+        assert event.memory_released == 3 * 1024
+
+
+class TestTransientException:
+    def test_raises_until_microreboot(self, system):
+        FaultInjector(system).inject_transient_exception("BrowseCategories")
+        assert issue(system, "/ebid/BrowseCategories").status == 500
+        assert issue(system, "/ebid/BrowseCategories").status == 500
+        urb(system, ["BrowseCategories"])
+        assert issue(system, "/ebid/BrowseCategories").status == HttpStatus.OK
+
+
+class TestPrimaryKeyCorruption:
+    def _commit_bid(self, system, cookie, item_id=3):
+        prepare = issue(system, "/ebid/MakeBid", {"item_id": item_id}, cookie)
+        return issue(
+            system, "/ebid/CommitBid",
+            {"amount": prepare.payload["current_bid"] + 5}, cookie,
+        )
+
+    def test_null_counters_break_commits(self, system):
+        cookie = login(system)
+        FaultInjector(system).corrupt_primary_keys(CorruptionMode.NULL)
+        assert self._commit_bid(system, cookie).status == 500
+        urb(system, ["IdentityManager"])
+        assert self._commit_bid(system, cookie).payload["accepted"]
+
+    def test_invalid_counters_rejected_by_schema(self, system):
+        cookie = login(system)
+        before = system.database.count("bids")
+        FaultInjector(system).corrupt_primary_keys(CorruptionMode.INVALID)
+        assert self._commit_bid(system, cookie).status == 500
+        assert system.database.count("bids") == before  # nothing persisted
+
+    def test_wrong_counters_duplicate_and_stray(self, system):
+        from repro.ebid.audit import audit_database
+
+        cookie = login(system)
+        FaultInjector(system).corrupt_primary_keys(CorruptionMode.WRONG)
+        assert self._commit_bid(system, cookie).status == 500  # duplicate key
+        issue(system, "/ebid/LeaveUserFeedback", {"to_user_id": 2}, cookie)
+        feedback = issue(
+            system, "/ebid/CommitUserFeedback",
+            {"rating": 1, "comment": "x"}, cookie,
+        )
+        assert feedback.status == HttpStatus.OK  # stray id committed!
+        assert feedback.payload["feedback_id"] >= 50_000
+        assert audit_database(system.database)  # durable damage (≈)
+        urb(system, ["IdentityManager"])
+        assert self._commit_bid(system, cookie).payload["accepted"]
+
+
+class TestJndiCorruption:
+    def test_null_entry(self, system):
+        FaultInjector(system).corrupt_jndi("ViewItem", CorruptionMode.NULL)
+        assert issue(system, "/ebid/ViewItem", {"item_id": 1}).status == 500
+        urb(system, ["ViewItem"])
+        assert issue(system, "/ebid/ViewItem", {"item_id": 1}).status == HttpStatus.OK
+
+    def test_invalid_entry_dangles(self, system):
+        FaultInjector(system).corrupt_jndi("ViewItem", CorruptionMode.INVALID)
+        assert issue(system, "/ebid/ViewItem", {"item_id": 1}).status == 500
+
+    def test_wrong_entry_misroutes(self, system):
+        FaultInjector(system).corrupt_jndi("ViewItem", CorruptionMode.WRONG)
+        response = issue(system, "/ebid/ViewItem", {"item_id": 1})
+        assert response.status == 500
+        assert "does not implement" in response.body
+
+
+class TestSessionBeanAttributeCorruption:
+    def test_null_attr_expunged_after_first_failure(self, system):
+        cookie = login(system)
+        FaultInjector(system).corrupt_session_bean_attribute(CorruptionMode.NULL)
+        container = system.server.containers["CommitBid"]
+        results = []
+        for _ in range(container.descriptor.pool_size + 1):
+            prepare = issue(system, "/ebid/MakeBid", {"item_id": 3}, cookie)
+            commit = issue(
+                system, "/ebid/CommitBid",
+                {"amount": prepare.payload["current_bid"] + 3}, cookie,
+            )
+            results.append(int(commit.status))
+        assert 500 in results  # exactly one instance was corrupted
+        assert results.count(500) == 1  # ... and it got replaced
+
+    def test_wrong_attr_commits_bad_amounts(self, system):
+        from repro.ebid.audit import audit_database
+
+        cookie = login(system)
+        FaultInjector(system).corrupt_session_bean_attribute(CorruptionMode.WRONG)
+        prepare = issue(system, "/ebid/MakeBid", {"item_id": 3}, cookie)
+        commit = issue(
+            system, "/ebid/CommitBid",
+            {"amount": prepare.payload["current_bid"]}, cookie,  # lowball!
+        )
+        assert commit.payload["accepted"]  # a healthy instance refuses this
+        assert any(
+            "duplicate amount" in v for v in audit_database(system.database)
+        )
+
+    def test_wrong_attr_breaks_displayed_prices(self, system):
+        FaultInjector(system).corrupt_session_bean_attribute(CorruptionMode.WRONG)
+        response = issue(system, "/ebid/ViewItem", {"item_id": 1})
+        truth = system.database.read("items", 1)["max_bid"]
+        assert response.payload["price"] == truth * 100
+
+
+class TestDatabaseCorruption:
+    def test_corrupt_and_repair(self, system):
+        from repro.ebid.audit import audit_database
+
+        reference = {"items": system.database.snapshot("items")}
+        pk = FaultInjector(system).corrupt_database("items", CorruptionMode.WRONG)
+        assert audit_database(system.database)
+        system.database.repair_table("items", reference["items"])
+        assert audit_database(system.database) == []
+        assert system.database.read("items", pk)["max_bid"] < 999999

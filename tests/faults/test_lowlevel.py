@@ -1,0 +1,81 @@
+"""Tests for low-level (FIG/FAUmachine-style) fault injection."""
+
+import pytest
+
+from repro.appserver.http import HttpStatus
+from repro.appserver.memory import OWNER_SERVER
+from repro.cluster.node import Node
+from repro.ebid.app import build_ebid_system
+from repro.ebid.schema import DatasetConfig
+from repro.faults.lowlevel import LowLevelInjector
+from tests.ebid.conftest import issue
+
+
+@pytest.fixture
+def rig():
+    system = build_ebid_system(dataset=DatasetConfig.tiny(), seed=4)
+    node = Node(system)
+    injector = LowLevelInjector(system, system.rng.stream("lowlevel"))
+    return system, node, injector
+
+
+def restart_jvm(system, node):
+    system.kernel.run_until_triggered(system.kernel.process(node.restart_jvm()))
+
+
+class TestBitFlips:
+    def test_memory_flip_breaks_db_access_until_jvm_restart(self, rig):
+        system, node, injector = rig
+        injector.flip_bits_in_process_memory()
+        assert not system.server.connection_pool.healthy
+        response = issue(system, "/ebid/ViewItem", {"item_id": 1})
+        assert response.status == 500
+        assert "connection pool" in response.body
+        # A microreboot does not scrub server metadata (§7).
+        system.kernel.run_until_triggered(
+            system.kernel.process(system.coordinator.microreboot(["ViewItem"]))
+        )
+        assert not system.server.connection_pool.healthy
+        restart_jvm(system, node)
+        assert issue(system, "/ebid/ViewItem", {"item_id": 1}).status == HttpStatus.OK
+
+    def test_register_flip_also_corrupts_in_flight_data(self, rig):
+        from repro.ebid.audit import audit_database
+
+        system, node, injector = rig
+        pk = injector.flip_bits_in_registers()
+        assert any(f"items:{pk}" in v for v in audit_database(system.database))
+        restart_jvm(system, node)
+        # The JVM restart resuscitates the service but not the data (≈).
+        assert audit_database(system.database)
+
+
+class TestBadSyscalls:
+    def test_accept_fails_until_jvm_restart(self, rig):
+        system, node, injector = rig
+        injector.inject_bad_syscall_returns()
+        assert issue(system, "/ebid/HomePage").network_error
+        restart_jvm(system, node)
+        assert issue(system, "/ebid/HomePage").status == HttpStatus.OK
+
+
+class TestLeaks:
+    def test_intra_jvm_leak_survives_microreboots(self, rig):
+        system, _node, injector = rig
+        injector.leak_intra_jvm(1024)
+        system.kernel.run_until_triggered(
+            system.kernel.process(system.coordinator.restart_application())
+        )
+        assert system.server.heap.leaked_by(OWNER_SERVER) == 1024
+        system.server.kill()
+        assert system.server.heap.leaked_total == 0
+
+    def test_extra_jvm_leak_needs_os_reboot(self, rig):
+        system, node, injector = rig
+        injector.leak_extra_jvm(node, node.os_memory)
+        assert issue(system, "/ebid/HomePage").network_error
+        restart_jvm(system, node)  # not enough: the OS is still exhausted
+        assert issue(system, "/ebid/HomePage").network_error
+        system.kernel.run_until_triggered(system.kernel.process(node.reboot_os()))
+        assert issue(system, "/ebid/HomePage").status == HttpStatus.OK
+        assert node.os_leaked == 0

@@ -1,0 +1,115 @@
+"""Integration tests reproducing the paper's §7 limitations.
+
+These are the cases where microreboots are *worse* than (or no better
+than) coarser recovery — the paper documents them, so we reproduce them.
+"""
+
+import pytest
+
+from repro.appserver.component import InvocationContext
+from repro.cluster.node import Node
+from repro.ebid.app import build_ebid_system
+from repro.ebid.schema import DatasetConfig
+
+
+@pytest.fixture
+def system():
+    return build_ebid_system(dataset=DatasetConfig.tiny(), seed=8)
+
+
+def run(system, generator):
+    return system.kernel.run_until_triggered(system.kernel.process(generator))
+
+
+class TestExternalResourceLeak:
+    """§7: "an EJB X can directly open a connection to a database without
+    using JBoss's transaction service, acquire a database lock, then share
+    that connection with another EJB Y.  If X is microrebooted prior to
+    releasing the lock ... X's DB session stays alive.  The database will
+    not release the lock until after X's DB session times out.  In the case
+    of a JVM restart, however, the resulting termination of the underlying
+    TCP connection ... would cause the immediate termination of the DB
+    session and the release of the lock."
+    """
+
+    def _acquire_behind_platforms_back(self, system):
+        database = system.database
+        ctx = InvocationContext(system.server)  # X's shepherd context
+        session = database.open_session(owner=ctx)
+
+        def locker():
+            yield session.lock_row("items", 1)
+
+        run(system, locker())
+        assert database.row_lock_holder("items", 1) is session
+        return session
+
+    def test_microreboot_leaks_the_lock_until_session_timeout(self, system):
+        database = system.database
+        session = self._acquire_behind_platforms_back(system)
+        run(system, system.coordinator.microreboot(["ViewItem"]))
+        # The platform did not know about the session: the lock is leaked.
+        assert database.row_lock_holder("items", 1) is session
+        # ... until the database's idle timeout reclaims it.
+        system.kernel.run(
+            until=system.kernel.now + database.session_idle_timeout + 1
+        )
+        assert database.row_lock_holder("items", 1) is None
+
+    def test_jvm_restart_releases_the_lock_immediately(self, system):
+        database = system.database
+        node = Node(system)
+        self._acquire_behind_platforms_back(system)
+        run(system, node.restart_jvm())
+        assert database.row_lock_holder("items", 1) is None
+
+
+class TestSharedStateHazard:
+    """§7: non-atomic updates to state shared between components.
+
+    J2EE discourages mutable statics, and a µRB shows why: the classloader
+    (and thus the static) survives, so corruption persists across the µRB;
+    a whole-application restart discards the loader and clears it.
+    """
+
+    def test_static_variable_corruption_survives_microreboot(self, system):
+        loader = system.server.containers["ViewItem"].classloader
+        loader.statics["shared_counter"] = "corrupted!"
+        run(system, system.coordinator.microreboot(["ViewItem"]))
+        assert (
+            system.server.containers["ViewItem"].classloader.statics[
+                "shared_counter"
+            ]
+            == "corrupted!"
+        )
+
+    def test_application_restart_clears_statics(self, system):
+        loader = system.server.containers["ViewItem"].classloader
+        loader.statics["shared_counter"] = "corrupted!"
+        run(system, system.coordinator.restart_application())
+        assert (
+            system.server.containers["ViewItem"].classloader.statics == {}
+        )
+
+
+class TestMicrorebootScope:
+    """§7: µRBs do not scrub server metadata, and cannot recover faults
+    below the application layer."""
+
+    def test_microreboot_does_not_scrub_connection_pool(self, system):
+        system.server.connection_pool.healthy = False
+        run(system, system.coordinator.restart_application())
+        assert not system.server.connection_pool.healthy  # still broken
+        system.server.kill()
+        assert system.server.connection_pool.healthy  # the JVM level fixes it
+
+    def test_delayed_full_reboot_costs_little_extra(self, system):
+        """"Even in this case, µRBs add only a small additional cost":
+        a wasted µRB plus a JVM restart is barely worse than the restart."""
+        node = Node(system)
+        start = system.kernel.now
+        run(system, system.coordinator.microreboot(["ViewItem"]))  # useless
+        run(system, node.restart_jvm())
+        total = system.kernel.now - start
+        jvm_alone = system.server.timing.jvm_restart_time()
+        assert total < jvm_alone * 1.05  # <5% overhead from the wrong guess

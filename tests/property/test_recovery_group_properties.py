@@ -1,0 +1,67 @@
+"""Property-based tests: recovery-group closure invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.appserver.component import StatelessSessionBean
+from repro.appserver.descriptors import ComponentKind, DeploymentDescriptor
+from repro.core.recovery_groups import compute_recovery_groups
+
+
+@st.composite
+def descriptor_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    names = [f"C{i}" for i in range(n)]
+    descriptors = []
+    for name in names:
+        refs = draw(
+            st.lists(st.sampled_from(names), max_size=3, unique=True)
+        )
+        refs = tuple(r for r in refs if r != name)
+        descriptors.append(
+            DeploymentDescriptor(
+                name=name,
+                kind=ComponentKind.STATELESS_SESSION,
+                factory=StatelessSessionBean,
+                group_references=refs,
+            )
+        )
+    return descriptors
+
+
+@settings(max_examples=200, deadline=None)
+@given(descriptors=descriptor_graphs())
+def test_groups_partition_the_components(descriptors):
+    groups = compute_recovery_groups(descriptors)
+    names = {d.name for d in descriptors}
+    assert set(groups) == names  # total
+    # Reflexive: everyone is in their own group.
+    for name, group in groups.items():
+        assert name in group
+    # Groups are equal-or-disjoint (a partition).
+    distinct = {frozenset(g) for g in groups.values()}
+    seen = set()
+    for group in distinct:
+        assert not (seen & group)
+        seen |= group
+    assert seen == names
+
+
+@settings(max_examples=200, deadline=None)
+@given(descriptors=descriptor_graphs())
+def test_groups_are_closed_under_references(descriptors):
+    """No reference edge may cross a group boundary (§3.2's guarantee)."""
+    groups = compute_recovery_groups(descriptors)
+    for descriptor in descriptors:
+        for ref in descriptor.group_references:
+            assert groups[descriptor.name] == groups[ref]
+
+
+@settings(max_examples=200, deadline=None)
+@given(descriptors=descriptor_graphs())
+def test_groups_symmetric_and_deterministic(descriptors):
+    groups = compute_recovery_groups(descriptors)
+    again = compute_recovery_groups(list(reversed(descriptors)))
+    for name in groups:
+        assert groups[name] == again[name]
+        for member in groups[name]:
+            assert groups[member] == groups[name]

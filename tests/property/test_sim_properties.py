@@ -1,0 +1,108 @@
+"""Property-based tests on the simulation kernel and core structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.appserver.memory import HeapModel
+from repro.sim import Kernel
+from repro.stores.leases import LeaseTable
+
+
+@settings(max_examples=100, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0, max_value=1000), max_size=40))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    kernel = Kernel()
+    fired = []
+
+    def waiter(delay):
+        yield kernel.timeout(delay)
+        fired.append(kernel.now)
+
+    for delay in delays:
+        kernel.process(waiter(delay))
+    kernel.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0, max_value=100), min_size=1, max_size=20
+    ),
+    split=st.floats(min_value=0, max_value=100),
+)
+def test_run_until_is_equivalent_to_one_run(delays, split):
+    """Splitting a run at an arbitrary time must not change the outcome."""
+
+    def build():
+        kernel = Kernel()
+        fired = []
+
+        def waiter(delay):
+            yield kernel.timeout(delay)
+            fired.append(round(kernel.now, 9))
+
+        for delay in delays:
+            kernel.process(waiter(delay))
+        return kernel, fired
+
+    one_kernel, one_fired = build()
+    one_kernel.run(until=200.0)
+
+    two_kernel, two_fired = build()
+    two_kernel.run(until=split)
+    two_kernel.run(until=200.0)
+
+    assert one_fired == two_fired
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    grants=st.lists(
+        st.tuples(st.integers(0, 5), st.floats(min_value=0.1, max_value=50)),
+        max_size=30,
+    ),
+    check_at=st.floats(min_value=0, max_value=100),
+)
+def test_lease_liveness_matches_grant_arithmetic(grants, check_at):
+    kernel = Kernel()
+    table = LeaseTable(kernel, default_ttl=10.0)
+    expiry = {}
+    for key, ttl in grants:
+        table.grant(key, ttl)
+        expiry[key] = kernel.now + ttl
+    kernel.run(until=check_at)
+    for key, when in expiry.items():
+        assert table.is_live(key) == (when > check_at)
+
+
+leak_ops = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c", "<server>"]),
+              st.integers(0, 10_000)),
+    max_size=40,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=leak_ops, release=st.sampled_from(["a", "b", "c"]))
+def test_heap_accounting_is_conserved(ops, release):
+    heap = HeapModel(capacity=10**9, baseline=10**6)
+    from repro.appserver.errors import OutOfMemoryError_
+
+    expected = {}
+    for owner, nbytes in ops:
+        try:
+            heap.leak(owner, nbytes)
+        except OutOfMemoryError_:
+            pass
+        expected[owner] = expected.get(owner, 0) + nbytes
+    assert heap.leaked_total == sum(expected.values())
+    assert heap.available == heap.capacity - heap.baseline - heap.leaked_total
+
+    freed = heap.release_owner(release)
+    assert freed == expected.get(release, 0)
+    assert heap.leaked_total == sum(expected.values()) - freed
+    assert heap.release_all() == sum(
+        v for k, v in expected.items() if k != release
+    )
+    assert heap.available == heap.capacity - heap.baseline

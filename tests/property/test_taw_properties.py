@@ -1,0 +1,89 @@
+"""Property-based tests: Taw accounting invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.metrics import ActionRecord, OperationRecord, TawAccounting
+
+
+@st.composite
+def action_batches(draw):
+    n_actions = draw(st.integers(min_value=0, max_value=25))
+    actions = []
+    clock = 0.0
+    for i in range(n_actions):
+        n_ops = draw(st.integers(min_value=1, max_value=5))
+        action = ActionRecord(name=f"A{i}", client_id=i, started_at=clock)
+        for _ in range(n_ops):
+            issued = clock
+            clock += draw(st.floats(min_value=0.01, max_value=5.0))
+            record = OperationRecord(
+                operation="Op",
+                url="/x",
+                issued_at=issued,
+                completed_at=clock,
+                ok=draw(st.booleans()),
+                response_time=clock - issued,
+                functional_group="G",
+            )
+            action.operations.append(record)
+        actions.append(action)
+    return actions
+
+
+@settings(max_examples=150, deadline=None)
+@given(actions=action_batches())
+def test_every_operation_is_counted_exactly_once(actions):
+    metrics = TawAccounting()
+    for action in actions:
+        metrics.record_action(action)
+    total_ops = sum(len(a.operations) for a in actions)
+    assert metrics.total_requests == total_ops
+    series_total = sum(metrics.good_taw_series().values()) + sum(
+        metrics.bad_taw_series().values()
+    )
+    assert series_total == total_ops
+
+
+@settings(max_examples=150, deadline=None)
+@given(actions=action_batches())
+def test_atomicity_any_failure_poisons_the_action(actions):
+    metrics = TawAccounting()
+    for action in actions:
+        metrics.record_action(action)
+    expected_good = sum(
+        len(a.operations) for a in actions if all(o.ok for o in a.operations)
+    )
+    assert metrics.good_requests == expected_good
+    assert metrics.good_actions + metrics.failed_actions == len(actions)
+
+
+@settings(max_examples=150, deadline=None)
+@given(actions=action_batches())
+def test_windows_tile_the_series(actions):
+    metrics = TawAccounting()
+    for action in actions:
+        metrics.record_action(action)
+    completed = [
+        op.completed_at for a in actions for op in a.operations
+    ]
+    horizon = int(max(completed, default=0)) + 20
+    good = bad = 0
+    for start in range(0, horizon + 10, 10):
+        g, b = metrics.requests_in_window(start, start + 10)
+        good += g
+        bad += b
+    assert good == metrics.good_requests
+    assert bad == metrics.failed_requests
+
+
+@settings(max_examples=150, deadline=None)
+@given(actions=action_batches())
+def test_group_unavailability_spans_are_disjoint_and_ordered(actions):
+    metrics = TawAccounting()
+    for action in actions:
+        metrics.record_action(action)
+    spans = metrics.group_unavailability("G")
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 < s2  # disjoint, sorted
+    for start, end in spans:
+        assert end > start

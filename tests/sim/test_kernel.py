@@ -1,0 +1,304 @@
+"""Unit tests for the simulation kernel: clock, events, ordering."""
+
+import pytest
+
+from repro.sim import Event, Kernel, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Kernel().now == 0.0
+
+
+def test_timeout_advances_clock():
+    kernel = Kernel()
+    seen = []
+
+    def proc():
+        yield kernel.timeout(2.5)
+        seen.append(kernel.now)
+
+    kernel.process(proc())
+    kernel.run()
+    assert seen == [2.5]
+
+
+def test_timeout_carries_value():
+    kernel = Kernel()
+    got = []
+
+    def proc():
+        value = yield kernel.timeout(1.0, value="payload")
+        got.append(value)
+
+    kernel.process(proc())
+    kernel.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    kernel = Kernel()
+    with pytest.raises(SimulationError):
+        kernel.timeout(-1.0)
+
+
+def test_run_until_stops_clock_exactly():
+    kernel = Kernel()
+
+    def proc():
+        while True:
+            yield kernel.timeout(10.0)
+
+    kernel.process(proc())
+    kernel.run(until=25.0)
+    assert kernel.now == 25.0
+
+
+def test_run_until_does_not_process_later_events():
+    kernel = Kernel()
+    fired = []
+
+    def proc():
+        yield kernel.timeout(30.0)
+        fired.append(kernel.now)
+
+    kernel.process(proc())
+    kernel.run(until=25.0)
+    assert fired == []
+    kernel.run(until=35.0)
+    assert fired == [30.0]
+
+
+def test_run_backwards_rejected():
+    kernel = Kernel()
+    kernel.run(until=10.0)
+    with pytest.raises(SimulationError):
+        kernel.run(until=5.0)
+
+
+def test_same_time_events_fifo_order():
+    kernel = Kernel()
+    order = []
+
+    def proc(tag):
+        yield kernel.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        kernel.process(proc(tag))
+    kernel.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_succeed_resumes_waiter():
+    kernel = Kernel()
+    event = kernel.event()
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append(value)
+
+    def trigger():
+        yield kernel.timeout(5.0)
+        event.succeed(42)
+
+    kernel.process(waiter())
+    kernel.process(trigger())
+    kernel.run()
+    assert got == [42]
+
+
+def test_event_fail_raises_in_waiter():
+    kernel = Kernel()
+    event = kernel.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield event
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def trigger():
+        yield kernel.timeout(1.0)
+        event.fail(ValueError("boom"))
+
+    kernel.process(waiter())
+    kernel.process(trigger())
+    kernel.run()
+    assert caught == ["boom"]
+
+
+def test_event_double_trigger_rejected():
+    kernel = Kernel()
+    event = kernel.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+    with pytest.raises(SimulationError):
+        event.fail(RuntimeError("late"))
+
+
+def test_event_fail_requires_exception():
+    kernel = Kernel()
+    with pytest.raises(SimulationError):
+        kernel.event().fail("not an exception")
+
+
+def test_value_before_trigger_rejected():
+    kernel = Kernel()
+    with pytest.raises(SimulationError):
+        _ = kernel.event().value
+
+
+def test_unhandled_failed_event_is_collected():
+    kernel = Kernel()
+    kernel.event().fail(RuntimeError("orphan"))
+    kernel.run()
+    assert len(kernel.unhandled_failures) == 1
+
+
+def test_handled_failed_event_not_collected():
+    kernel = Kernel()
+    event = kernel.event()
+
+    def waiter():
+        try:
+            yield event
+        except RuntimeError:
+            pass
+
+    kernel.process(waiter())
+    event.fail(RuntimeError("handled"))
+    kernel.run()
+    assert kernel.unhandled_failures == []
+
+
+def test_peek_reports_next_event_time():
+    kernel = Kernel()
+    assert kernel.peek() == float("inf")
+    kernel.timeout(3.0)
+    assert kernel.peek() == 3.0
+
+
+def test_step_on_empty_queue_rejected():
+    with pytest.raises(SimulationError):
+        Kernel().step()
+
+
+def test_run_until_triggered_returns_value():
+    kernel = Kernel()
+
+    def proc():
+        yield kernel.timeout(2.0)
+        return "done"
+
+    process = kernel.process(proc())
+    assert kernel.run_until_triggered(process) == "done"
+    assert kernel.now == 2.0
+
+
+def test_run_until_triggered_raises_process_error():
+    kernel = Kernel()
+
+    def proc():
+        yield kernel.timeout(1.0)
+        raise KeyError("inside")
+
+    process = kernel.process(proc())
+    with pytest.raises(KeyError):
+        kernel.run_until_triggered(process)
+
+
+def test_run_until_triggered_respects_limit():
+    kernel = Kernel()
+    event = kernel.event()
+
+    def late():
+        yield kernel.timeout(100.0)
+        event.succeed()
+
+    kernel.process(late())
+    with pytest.raises(SimulationError):
+        kernel.run_until_triggered(event, limit=10.0)
+
+
+def test_any_of_triggers_on_first():
+    kernel = Kernel()
+    results = []
+
+    def proc():
+        first = kernel.timeout(1.0, value="fast")
+        second = kernel.timeout(5.0, value="slow")
+        outcome = yield kernel.any_of([first, second])
+        results.append((kernel.now, list(outcome.values())))
+
+    kernel.process(proc())
+    kernel.run()
+    assert results == [(1.0, ["fast"])]
+
+
+def test_all_of_waits_for_every_event():
+    kernel = Kernel()
+    results = []
+
+    def proc():
+        events = [kernel.timeout(t, value=t) for t in (1.0, 3.0, 2.0)]
+        outcome = yield kernel.all_of(events)
+        results.append((kernel.now, sorted(outcome.values())))
+
+    kernel.process(proc())
+    kernel.run()
+    assert results == [(3.0, [1.0, 2.0, 3.0])]
+
+
+def test_any_of_with_already_processed_event():
+    kernel = Kernel()
+    done = kernel.timeout(0.0, value="early")
+    kernel.run(until=0.5)
+    results = []
+
+    def proc():
+        outcome = yield kernel.any_of([done, kernel.timeout(9.0)])
+        results.append(list(outcome.values()))
+
+    kernel.process(proc())
+    kernel.run(until=1.0)
+    assert results == [["early"]]
+
+
+def test_all_of_empty_list_triggers_immediately():
+    kernel = Kernel()
+    results = []
+
+    def proc():
+        outcome = yield kernel.all_of([])
+        results.append(outcome)
+
+    kernel.process(proc())
+    kernel.run()
+    assert results == [{}]
+
+
+def test_any_of_propagates_failure():
+    kernel = Kernel()
+    event = kernel.event()
+    caught = []
+
+    def proc():
+        try:
+            yield kernel.any_of([event, kernel.timeout(10.0)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    kernel.process(proc())
+    event.fail(RuntimeError("sub-event failed"))
+    kernel.run()
+    assert caught == ["sub-event failed"]
+
+
+def test_condition_rejects_foreign_kernel_events():
+    kernel_a, kernel_b = Kernel(), Kernel()
+    foreign = Event(kernel_b)
+    with pytest.raises(SimulationError):
+        kernel_a.any_of([foreign, kernel_a.event()])

@@ -1,0 +1,248 @@
+"""Unit tests for processes: lifecycle, interrupts, nesting."""
+
+import pytest
+
+from repro.sim import Interrupt, Kernel, SimulationError
+
+
+def test_process_return_value():
+    kernel = Kernel()
+
+    def proc():
+        yield kernel.timeout(1.0)
+        return "result"
+
+    process = kernel.process(proc())
+    kernel.run()
+    assert process.triggered
+    assert process.value == "result"
+
+
+def test_process_requires_generator():
+    kernel = Kernel()
+    with pytest.raises(SimulationError):
+        kernel.process(lambda: None)
+
+
+def test_process_name_defaults_to_generator_name():
+    kernel = Kernel()
+
+    def shepherd():
+        yield kernel.timeout(0.0)
+
+    assert kernel.process(shepherd()).name == "shepherd"
+
+
+def test_waiting_on_a_process_gets_its_return_value():
+    kernel = Kernel()
+    results = []
+
+    def child():
+        yield kernel.timeout(2.0)
+        return 99
+
+    def parent():
+        value = yield kernel.process(child())
+        results.append((kernel.now, value))
+
+    kernel.process(parent())
+    kernel.run()
+    assert results == [(2.0, 99)]
+
+
+def test_process_exception_propagates_to_waiter():
+    kernel = Kernel()
+    caught = []
+
+    def child():
+        yield kernel.timeout(1.0)
+        raise RuntimeError("child died")
+
+    def parent():
+        try:
+            yield kernel.process(child())
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    kernel.process(parent())
+    kernel.run()
+    assert caught == ["child died"]
+
+
+def test_interrupt_raises_in_process():
+    kernel = Kernel()
+    seen = []
+
+    def victim():
+        try:
+            yield kernel.timeout(100.0)
+        except Interrupt as interrupt:
+            seen.append((kernel.now, interrupt.cause))
+
+    process = kernel.process(victim())
+
+    def killer():
+        yield kernel.timeout(5.0)
+        process.interrupt(cause="microreboot")
+
+    kernel.process(killer())
+    kernel.run()
+    assert seen == [(5.0, "microreboot")]
+
+
+def test_interrupt_detaches_from_waited_event():
+    kernel = Kernel()
+    event = kernel.event()
+    resumed = []
+
+    def victim():
+        try:
+            yield event
+        except Interrupt:
+            yield kernel.timeout(50.0)
+            resumed.append("slept past trigger")
+
+    process = kernel.process(victim())
+
+    def driver():
+        yield kernel.timeout(1.0)
+        process.interrupt()
+        yield kernel.timeout(1.0)
+        event.succeed("late value")  # must NOT resume the victim early
+
+    kernel.process(driver())
+    kernel.run()
+    assert resumed == ["slept past trigger"]
+    assert kernel.now >= 51.0
+
+
+def test_interrupt_finished_process_is_noop():
+    kernel = Kernel()
+
+    def quick():
+        yield kernel.timeout(1.0)
+        return "ok"
+
+    process = kernel.process(quick())
+    kernel.run()
+    process.interrupt()  # should not raise
+    kernel.run()
+    assert process.value == "ok"
+
+
+def test_uncaught_interrupt_kills_process():
+    kernel = Kernel()
+
+    def victim():
+        yield kernel.timeout(100.0)
+
+    process = kernel.process(victim())
+
+    def killer():
+        yield kernel.timeout(1.0)
+        process.interrupt(cause="kill -9")
+
+    kernel.process(killer())
+    kernel.run()
+    assert process.triggered
+    assert process.ok is False
+    assert isinstance(process.value, Interrupt)
+
+
+def test_interrupt_before_first_step():
+    kernel = Kernel()
+    seen = []
+
+    def victim():
+        try:
+            yield kernel.timeout(10.0)
+        except Interrupt:
+            seen.append("interrupted")
+
+    process = kernel.process(victim())
+    process.interrupt()
+    kernel.run()
+    # The start event fires first, then the interrupt lands at the first yield.
+    assert seen == ["interrupted"]
+
+
+def test_double_interrupt_same_instant():
+    kernel = Kernel()
+    hits = []
+
+    def victim():
+        try:
+            yield kernel.timeout(100.0)
+        except Interrupt:
+            hits.append("first")
+            try:
+                yield kernel.timeout(100.0)
+            except Interrupt:
+                hits.append("second")
+
+    process = kernel.process(victim())
+
+    def killer():
+        yield kernel.timeout(1.0)
+        process.interrupt()
+        process.interrupt()
+
+    kernel.process(killer())
+    kernel.run()
+    assert hits == ["first", "second"]
+
+
+def test_yielding_non_event_fails_process():
+    kernel = Kernel()
+
+    def bad():
+        yield "not an event"
+
+    process = kernel.process(bad())
+    kernel.run()
+    assert process.ok is False
+    assert isinstance(process.value, SimulationError)
+
+
+def test_is_alive_tracks_lifecycle():
+    kernel = Kernel()
+
+    def proc():
+        yield kernel.timeout(5.0)
+
+    process = kernel.process(proc())
+    assert process.is_alive
+    kernel.run()
+    assert not process.is_alive
+
+
+def test_immediate_return_process():
+    kernel = Kernel()
+
+    def instant():
+        return "no waiting"
+        yield  # pragma: no cover - makes this a generator
+
+    process = kernel.process(instant())
+    kernel.run()
+    assert process.value == "no waiting"
+
+
+def test_many_nested_processes():
+    kernel = Kernel()
+
+    def leaf(depth):
+        yield kernel.timeout(1.0)
+        return depth
+
+    def node(depth):
+        if depth == 0:
+            result = yield kernel.process(leaf(depth))
+            return result
+        result = yield kernel.process(node(depth - 1))
+        return result + 1
+
+    process = kernel.process(node(20))
+    kernel.run()
+    assert process.value == 20
+    assert kernel.now == 1.0

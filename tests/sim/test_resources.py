@@ -1,0 +1,312 @@
+"""Unit tests for queues, semaphores, and owner-tracked locks."""
+
+import pytest
+
+from repro.sim import Interrupt, Kernel, Lock, Queue, Semaphore, SimulationError
+
+
+class TestQueue:
+    def test_put_then_get(self):
+        kernel = Kernel()
+        queue = Queue(kernel)
+        queue.put("x")
+        got = []
+
+        def getter():
+            item = yield queue.get()
+            got.append(item)
+
+        kernel.process(getter())
+        kernel.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        kernel = Kernel()
+        queue = Queue(kernel)
+        got = []
+
+        def getter():
+            item = yield queue.get()
+            got.append((kernel.now, item))
+
+        def putter():
+            yield kernel.timeout(3.0)
+            queue.put("late")
+
+        kernel.process(getter())
+        kernel.process(putter())
+        kernel.run()
+        assert got == [(3.0, "late")]
+
+    def test_fifo_item_order(self):
+        kernel = Kernel()
+        queue = Queue(kernel)
+        for item in (1, 2, 3):
+            queue.put(item)
+        got = []
+
+        def getter():
+            for _ in range(3):
+                item = yield queue.get()
+                got.append(item)
+
+        kernel.process(getter())
+        kernel.run()
+        assert got == [1, 2, 3]
+
+    def test_fifo_getter_order(self):
+        kernel = Kernel()
+        queue = Queue(kernel)
+        got = []
+
+        def getter(tag):
+            item = yield queue.get()
+            got.append((tag, item))
+
+        kernel.process(getter("first"))
+        kernel.process(getter("second"))
+
+        def putter():
+            yield kernel.timeout(1.0)
+            queue.put("a")
+            queue.put("b")
+
+        kernel.process(putter())
+        kernel.run()
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_put_skips_interrupted_getter(self):
+        kernel = Kernel()
+        queue = Queue(kernel)
+        got = []
+
+        def victim():
+            try:
+                yield queue.get()
+            except Interrupt:
+                pass
+
+        def survivor():
+            item = yield queue.get()
+            got.append(item)
+
+        victim_proc = kernel.process(victim())
+        kernel.process(survivor())
+
+        def driver():
+            yield kernel.timeout(1.0)
+            victim_proc.interrupt()
+            yield kernel.timeout(1.0)
+            queue.put("item")
+
+        kernel.process(driver())
+        kernel.run()
+        assert got == ["item"]
+
+    def test_len_and_drain(self):
+        kernel = Kernel()
+        queue = Queue(kernel)
+        queue.put(1)
+        queue.put(2)
+        assert len(queue) == 2
+        assert queue.drain() == [1, 2]
+        assert len(queue) == 0
+
+
+class TestSemaphore:
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Semaphore(Kernel(), 0)
+
+    def test_acquire_within_capacity_is_immediate(self):
+        kernel = Kernel()
+        sem = Semaphore(kernel, 2)
+        times = []
+
+        def worker():
+            yield sem.acquire()
+            times.append(kernel.now)
+
+        kernel.process(worker())
+        kernel.process(worker())
+        kernel.run()
+        assert times == [0.0, 0.0]
+        assert sem.available == 0
+
+    def test_acquire_blocks_at_capacity(self):
+        kernel = Kernel()
+        sem = Semaphore(kernel, 1)
+        times = []
+
+        def holder():
+            yield sem.acquire()
+            yield kernel.timeout(5.0)
+            sem.release()
+
+        def waiter():
+            yield sem.acquire()
+            times.append(kernel.now)
+            sem.release()
+
+        kernel.process(holder())
+        kernel.process(waiter())
+        kernel.run()
+        assert times == [5.0]
+
+    def test_release_without_holder_rejected(self):
+        with pytest.raises(SimulationError):
+            Semaphore(Kernel(), 1).release()
+
+    def test_release_skips_interrupted_waiter(self):
+        kernel = Kernel()
+        sem = Semaphore(kernel, 1)
+        order = []
+
+        def holder():
+            yield sem.acquire()
+            yield kernel.timeout(10.0)
+            sem.release()
+
+        def victim():
+            try:
+                yield sem.acquire()
+                order.append("victim got slot")
+            except Interrupt:
+                order.append("victim interrupted")
+
+        def patient():
+            yield sem.acquire()
+            order.append("patient got slot")
+
+        kernel.process(holder())
+        victim_proc = kernel.process(victim())
+        kernel.process(patient())
+
+        def killer():
+            yield kernel.timeout(1.0)
+            victim_proc.interrupt()
+
+        kernel.process(killer())
+        kernel.run()
+        assert order == ["victim interrupted", "patient got slot"]
+
+
+class TestLock:
+    def test_acquire_release_cycle(self):
+        kernel = Kernel()
+        lock = Lock(kernel, name="row-1")
+        order = []
+
+        def worker(tag, hold):
+            yield lock.acquire(tag)
+            order.append(("in", tag, kernel.now))
+            yield kernel.timeout(hold)
+            lock.release(tag)
+            order.append(("out", tag, kernel.now))
+
+        kernel.process(worker("a", 2.0))
+        kernel.process(worker("b", 1.0))
+        kernel.run()
+        assert order == [
+            ("in", "a", 0.0),
+            ("out", "a", 2.0),
+            ("in", "b", 2.0),
+            ("out", "b", 3.0),
+        ]
+
+    def test_owner_required(self):
+        with pytest.raises(SimulationError):
+            Lock(Kernel()).acquire(None)
+
+    def test_release_by_non_owner_rejected(self):
+        kernel = Kernel()
+        lock = Lock(kernel)
+
+        def proc():
+            yield lock.acquire("me")
+            lock.release("someone else")
+
+        process = kernel.process(proc())
+        kernel.run()
+        assert isinstance(process.value, SimulationError)
+
+    def test_force_release_owner(self):
+        kernel = Kernel()
+        lock = Lock(kernel)
+        got = []
+
+        def holder():
+            yield lock.acquire("dead-thread")
+            yield kernel.timeout(1000.0)
+
+        def waiter():
+            yield lock.acquire("live-thread")
+            got.append(kernel.now)
+
+        kernel.process(holder())
+        kernel.process(waiter())
+
+        def reaper():
+            yield kernel.timeout(2.0)
+            assert lock.force_release_owner("dead-thread")
+
+        kernel.process(reaper())
+        kernel.run(until=10.0)
+        assert got == [2.0]
+
+    def test_force_release_wrong_owner_returns_false(self):
+        kernel = Kernel()
+        lock = Lock(kernel)
+
+        def proc():
+            yield lock.acquire("holder")
+
+        kernel.process(proc())
+        kernel.run()
+        assert not lock.force_release_owner("other")
+        assert lock.owner == "holder"
+
+    def test_force_release_drops_waits(self):
+        kernel = Kernel()
+        lock = Lock(kernel)
+
+        def holder():
+            yield lock.acquire("a")
+            yield kernel.timeout(100.0)
+            lock.release("a")
+
+        def doomed_waiter():
+            yield lock.acquire("b")
+
+        kernel.process(holder())
+        kernel.process(doomed_waiter())
+        kernel.run(until=1.0)
+        assert lock.waiting_owners() == ["b"]
+        lock.force_release_owner("b")
+        assert lock.waiting_owners() == []
+
+    def test_classic_deadlock_forms(self):
+        """Two threads acquiring two locks in opposite order deadlock."""
+        kernel = Kernel()
+        lock_a, lock_b = Lock(kernel, "A"), Lock(kernel, "B")
+        progress = []
+
+        def thread_one():
+            yield lock_a.acquire("t1")
+            yield kernel.timeout(1.0)
+            yield lock_b.acquire("t1")
+            progress.append("t1 done")
+
+        def thread_two():
+            yield lock_b.acquire("t2")
+            yield kernel.timeout(1.0)
+            yield lock_a.acquire("t2")
+            progress.append("t2 done")
+
+        kernel.process(thread_one())
+        kernel.process(thread_two())
+        kernel.run(until=100.0)
+        assert progress == []  # neither thread made it through
+        assert lock_a.owner == "t1" and lock_b.owner == "t2"
+        assert lock_a.waiting_owners() == ["t2"]
+        assert lock_b.waiting_owners() == ["t1"]

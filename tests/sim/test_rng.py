@@ -1,0 +1,46 @@
+"""Unit tests for deterministic named RNG streams."""
+
+from repro.sim import RngRegistry
+from repro.sim.rng import derive_seed
+
+
+def test_same_name_same_stream_object():
+    registry = RngRegistry(7)
+    assert registry.stream("clients") is registry.stream("clients")
+
+
+def test_streams_are_deterministic_across_registries():
+    first = RngRegistry(42).stream("faults")
+    second = RngRegistry(42).stream("faults")
+    assert [first.random() for _ in range(5)] == [second.random() for _ in range(5)]
+
+
+def test_different_names_give_independent_streams():
+    registry = RngRegistry(42)
+    a = [registry.stream("a").random() for _ in range(5)]
+    b = [registry.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_give_different_streams():
+    a = RngRegistry(1).stream("x").random()
+    b = RngRegistry(2).stream("x").random()
+    assert a != b
+
+
+def test_derive_seed_is_stable():
+    assert derive_seed(0, "name") == derive_seed(0, "name")
+    assert derive_seed(0, "name") != derive_seed(0, "other")
+
+
+def test_exponential_respects_maximum():
+    registry = RngRegistry(0)
+    draws = [registry.exponential("think", mean=7.0, maximum=70.0) for _ in range(2000)]
+    assert all(0.0 <= d <= 70.0 for d in draws)
+
+
+def test_exponential_mean_roughly_correct():
+    registry = RngRegistry(123)
+    draws = [registry.exponential("think", mean=7.0) for _ in range(20000)]
+    mean = sum(draws) / len(draws)
+    assert 6.5 < mean < 7.5

@@ -1,0 +1,240 @@
+"""Unit tests for the transactional database."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.stores.database import (
+    Database,
+    DatabaseDownError,
+    DatabaseError,
+    DuplicateKeyError,
+    SchemaError,
+)
+
+
+@pytest.fixture
+def db():
+    kernel = Kernel()
+    database = Database(kernel, recovery_time=2.0, session_idle_timeout=10.0)
+    database.create_table("items")
+    database.kernel_ref = kernel  # convenience for tests
+    return database
+
+
+class TestSchema:
+    def test_create_duplicate_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.create_table("items")
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.read("ghosts", 1)
+
+    def test_non_integer_pk_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("items", {"id": "zzz", "name": "bad"})
+
+    def test_boolean_pk_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("items", {"id": True})
+
+    def test_missing_pk_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("items", {"name": "no id"})
+
+
+class TestCrud:
+    def test_insert_read_roundtrip(self, db):
+        db.insert("items", {"id": 1, "name": "lamp"})
+        assert db.read("items", 1) == {"id": 1, "name": "lamp"}
+
+    def test_read_returns_copy(self, db):
+        db.insert("items", {"id": 1, "name": "lamp"})
+        row = db.read("items", 1)
+        row["name"] = "mutated"
+        assert db.read("items", 1)["name"] == "lamp"
+
+    def test_read_missing_is_none(self, db):
+        assert db.read("items", 404) is None
+
+    def test_duplicate_key_rejected(self, db):
+        db.insert("items", {"id": 1})
+        with pytest.raises(DuplicateKeyError):
+            db.insert("items", {"id": 1})
+
+    def test_update_merges_fields(self, db):
+        db.insert("items", {"id": 1, "name": "lamp", "price": 10})
+        db.update("items", 1, {"price": 12})
+        assert db.read("items", 1) == {"id": 1, "name": "lamp", "price": 12}
+
+    def test_update_missing_row_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.update("items", 9, {"x": 1})
+
+    def test_delete(self, db):
+        db.insert("items", {"id": 1})
+        db.delete("items", 1)
+        assert db.read("items", 1) is None
+
+    def test_delete_missing_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.delete("items", 9)
+
+    def test_select_by_equality(self, db):
+        db.insert("items", {"id": 1, "cat": "a"})
+        db.insert("items", {"id": 2, "cat": "b"})
+        db.insert("items", {"id": 3, "cat": "a"})
+        assert {r["id"] for r in db.select("items", cat="a")} == {1, 3}
+
+    def test_count_and_max_pk(self, db):
+        assert db.max_pk("items") == 0
+        for pk in (5, 2, 9):
+            db.insert("items", {"id": pk})
+        assert db.count("items") == 3
+        assert db.max_pk("items") == 9
+
+
+class TestTransactions:
+    def test_commit_makes_writes_durable(self, db):
+        db.insert("items", {"id": 1}, tx_id=77)
+        db.commit_transaction(77)
+        assert db.read("items", 1) is not None
+        assert db.in_flight_transactions == 0
+
+    def test_rollback_undoes_insert(self, db):
+        db.insert("items", {"id": 1}, tx_id=77)
+        db.rollback_transaction(77)
+        assert db.read("items", 1) is None
+
+    def test_rollback_undoes_update(self, db):
+        db.insert("items", {"id": 1, "v": "old"})
+        db.update("items", 1, {"v": "new"}, tx_id=5)
+        db.rollback_transaction(5)
+        assert db.read("items", 1)["v"] == "old"
+
+    def test_rollback_undoes_delete(self, db):
+        db.insert("items", {"id": 1, "v": "x"})
+        db.delete("items", 1, tx_id=5)
+        db.rollback_transaction(5)
+        assert db.read("items", 1)["v"] == "x"
+
+    def test_rollback_applies_undo_in_reverse(self, db):
+        db.insert("items", {"id": 1, "v": 0})
+        db.update("items", 1, {"v": 1}, tx_id=5)
+        db.update("items", 1, {"v": 2}, tx_id=5)
+        db.rollback_transaction(5)
+        assert db.read("items", 1)["v"] == 0
+
+    def test_auto_commit_writes_cannot_roll_back(self, db):
+        db.insert("items", {"id": 1})  # no tx id: durable immediately
+        db.rollback_transaction(123)  # unrelated
+        assert db.read("items", 1) is not None
+
+    def test_interleaved_transactions_roll_back_independently(self, db):
+        db.insert("items", {"id": 1}, tx_id=1)
+        db.insert("items", {"id": 2}, tx_id=2)
+        db.rollback_transaction(1)
+        db.commit_transaction(2)
+        assert db.read("items", 1) is None
+        assert db.read("items", 2) is not None
+
+
+class TestCrashRecovery:
+    def test_crashed_database_refuses_access(self, db):
+        db.crash()
+        with pytest.raises(DatabaseDownError):
+            db.read("items", 1)
+        with pytest.raises(DatabaseDownError):
+            db.insert("items", {"id": 1})
+
+    def test_recovery_preserves_committed_data(self, db):
+        db.insert("items", {"id": 1})
+        db.insert("items", {"id": 2}, tx_id=9)
+        db.commit_transaction(9)
+        db.crash()
+        db.kernel_ref.run_until_triggered(db.kernel_ref.process(db.recover()))
+        assert db.read("items", 1) is not None
+        assert db.read("items", 2) is not None
+
+    def test_recovery_rolls_back_in_flight_transactions(self, db):
+        db.insert("items", {"id": 1}, tx_id=9)  # never committed
+        db.crash()
+        db.kernel_ref.run_until_triggered(db.kernel_ref.process(db.recover()))
+        assert db.read("items", 1) is None
+        assert db.in_flight_transactions == 0
+
+    def test_recovery_charges_recovery_time(self, db):
+        db.crash()
+        start = db.kernel_ref.now
+        db.kernel_ref.run_until_triggered(db.kernel_ref.process(db.recover()))
+        assert db.kernel_ref.now - start == pytest.approx(2.0)
+
+    def test_recover_running_database_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            next(db.recover())
+
+
+class TestSessionsAndLocks:
+    def test_session_lock_release_on_close(self, db):
+        kernel = db.kernel_ref
+        session = db.open_session(owner="ejb-X")
+
+        def locker():
+            yield session.lock_row("items", 1)
+
+        kernel.run_until_triggered(kernel.process(locker()))
+        assert db.row_lock_holder("items", 1) is session
+        session.close()
+        assert db.row_lock_holder("items", 1) is None
+
+    def test_idle_timeout_releases_leaked_lock(self, db):
+        """The §7 scenario: a lock held by a microrebooted component's
+        session stays held until the DB's idle timeout fires."""
+        kernel = db.kernel_ref
+        session = db.open_session(owner="ejb-X")
+
+        def locker():
+            yield session.lock_row("items", 1)
+
+        kernel.run_until_triggered(kernel.process(locker()))
+        kernel.run(until=9.0)
+        assert db.row_lock_holder("items", 1) is session  # still leaked
+        kernel.run(until=10.5)
+        assert db.row_lock_holder("items", 1) is None  # timeout reclaimed it
+
+    def test_close_sessions_owned_by(self, db):
+        """JVM kill → TCP teardown → immediate session termination (§7)."""
+        kernel = db.kernel_ref
+        session = db.open_session(owner="ejb-X")
+
+        def locker():
+            yield session.lock_row("items", 1)
+
+        kernel.run_until_triggered(kernel.process(locker()))
+        db.close_sessions_owned_by(["ejb-X"])
+        assert db.row_lock_holder("items", 1) is None
+        assert not session.open
+
+    def test_closed_session_cannot_lock(self, db):
+        session = db.open_session(owner="x")
+        session.close()
+        with pytest.raises(DatabaseError):
+            session.lock_row("items", 1)
+
+
+class TestAuditRepair:
+    def test_snapshot_diff_and_repair(self, db):
+        db.insert("items", {"id": 1, "name": "lamp"})
+        db.insert("items", {"id": 2, "name": "sofa"})
+        reference = db.snapshot("items")
+        db._corrupt_row("items", 1, "name", "LAMP???")
+        db.delete("items", 2)
+        db.insert("items", {"id": 3, "name": "intruder"})
+        assert db.diff_table("items", reference) == [1, 2, 3]
+        changed = db.repair_table("items", reference)
+        assert changed == 3
+        assert db.diff_table("items", reference) == []
+
+    def test_corrupt_missing_row_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db._corrupt_row("items", 42, "name", "x")

@@ -1,0 +1,85 @@
+"""Unit tests for FastS: fast, in-JVM, µRB-survivable session storage."""
+
+from repro.stores.fasts import FastS
+from repro.stores.sessions import SessionData
+
+
+def make_session(session_id="c1", user_id=1):
+    data = SessionData(session_id, user_id)
+    data.attributes = {"user_id": user_id}
+    return data
+
+
+def test_write_read_roundtrip():
+    store = FastS()
+    store.write("c1", make_session())
+    assert store.read("c1").user_id == 1
+
+
+def test_read_missing_is_none():
+    assert FastS().read("ghost") is None
+
+
+def test_read_returns_copy():
+    store = FastS()
+    store.write("c1", make_session())
+    first = store.read("c1")
+    first.attributes["user_id"] = 999
+    assert store.read("c1").attributes["user_id"] == 1
+
+
+def test_write_is_atomic_replacement():
+    store = FastS()
+    store.write("c1", make_session(user_id=1))
+    store.write("c1", make_session(user_id=2))
+    assert store.read("c1").user_id == 2
+
+
+def test_delete():
+    store = FastS()
+    store.write("c1", make_session())
+    store.delete("c1")
+    assert store.read("c1") is None
+
+
+def test_survival_semantics_flags():
+    assert FastS.survives_microreboot
+    assert not FastS.survives_jvm_restart
+
+
+def test_jvm_exit_clears_everything():
+    store = FastS()
+    store.write("c1", make_session())
+    store.write("c2", make_session("c2", 2))
+    store.notify_jvm_exit(server=None)
+    assert len(store) == 0
+
+
+def test_sweep_discards_corrupt_sessions_only():
+    store = FastS()
+    store.write("good", make_session("good", 1))
+    store.write("nulled", make_session("nulled", 2))
+    store.write("swapped", make_session("swapped", 3))
+    store._raw("nulled").attributes = None
+    store._raw("swapped").attributes["user_id"] = 99
+    discarded = store.sweep_invalid()
+    assert sorted(discarded) == ["nulled", "swapped"]
+    assert store.read("good") is not None
+    assert store.read("nulled") is None
+
+
+def test_corruption_is_returned_as_is():
+    """FastS has no checksums: corrupt objects reach the application."""
+    store = FastS()
+    store.write("c1", make_session())
+    store._raw("c1").attributes = None
+    assert store.read("c1").attributes is None
+
+
+def test_access_counters():
+    store = FastS()
+    store.write("c1", make_session())
+    store.read("c1")
+    store.read("c1")
+    assert store.writes == 1
+    assert store.reads == 2

@@ -1,0 +1,41 @@
+"""Unit tests for the static content store."""
+
+import pytest
+
+from repro.stores.filesystem import StaticContentStore
+
+
+def test_publish_and_read():
+    store = StaticContentStore()
+    store.publish("/static/home.html", "<html>welcome</html>")
+    assert store.read("/static/home.html") == "<html>welcome</html>"
+
+
+def test_read_missing_raises():
+    with pytest.raises(FileNotFoundError):
+        StaticContentStore().read("/nope.gif")
+
+
+def test_seal_makes_read_only():
+    store = StaticContentStore(read_only=True)
+    store.publish("/a", "x")
+    store.seal()
+    with pytest.raises(PermissionError):
+        store.publish("/b", "y")
+    assert store.read("/a") == "x"
+
+
+def test_seal_without_read_only_keeps_writable():
+    store = StaticContentStore(read_only=False)
+    store.seal()
+    store.publish("/a", "x")
+    assert store.exists("/a")
+
+
+def test_paths_and_counters():
+    store = StaticContentStore()
+    store.publish("/a", "1")
+    store.publish("/b", "2")
+    store.read("/a")
+    assert sorted(store.paths()) == ["/a", "/b"]
+    assert store.reads == 1

@@ -1,0 +1,72 @@
+"""Unit tests for session objects: checksums and validation."""
+
+import pytest
+
+from repro.stores.sessions import SessionCorruptionError, SessionData
+
+
+def make_session():
+    data = SessionData("cookie-1", 42)
+    data.attributes = {"user_id": 42, "cart": [7, 9]}
+    return data
+
+
+def test_checksum_roundtrip():
+    data = make_session().seal()
+    assert data.checksum_ok()
+
+
+def test_checksum_detects_attribute_flip():
+    data = make_session().seal()
+    data.attributes["cart"] = [7, 999]
+    assert not data.checksum_ok()
+
+
+def test_checksum_detects_identity_flip():
+    data = make_session().seal()
+    data.user_id = 43
+    assert not data.checksum_ok()
+
+
+def test_copy_is_deep_enough():
+    data = make_session()
+    clone = data.copy()
+    clone.attributes["cart"] = []
+    assert data.attributes["cart"] == [7, 9]
+
+
+def test_copy_preserves_checksum():
+    data = make_session().seal()
+    assert data.copy().checksum == data.checksum
+
+
+def test_validate_accepts_healthy_session():
+    make_session().validate()
+
+
+def test_validate_rejects_null_attributes():
+    data = make_session()
+    data.attributes = None
+    with pytest.raises(SessionCorruptionError, match="null"):
+        data.validate()
+
+
+def test_validate_rejects_invalid_user_id():
+    data = make_session()
+    data.user_id = -5
+    with pytest.raises(SessionCorruptionError, match="invalid"):
+        data.validate()
+
+
+def test_validate_rejects_identity_mismatch():
+    """The *wrong* corruption: valid-looking but swapped identity."""
+    data = make_session()
+    data.attributes["user_id"] = 77
+    with pytest.raises(SessionCorruptionError, match="mismatch"):
+        data.validate()
+
+
+def test_validate_tolerates_missing_bound_user():
+    data = SessionData("c", 5)
+    data.attributes = {}
+    data.validate()  # no embedded user id: nothing to cross-check

@@ -1,0 +1,97 @@
+"""Unit tests for SSM: external, lease-based, checksummed session storage."""
+
+from repro.sim import Kernel
+from repro.stores.sessions import SessionData
+from repro.stores.ssm import SSM
+
+
+def make_session(session_id="c1", user_id=1):
+    data = SessionData(session_id, user_id)
+    data.attributes = {"user_id": user_id}
+    return data
+
+
+def make_store(lease_ttl=100.0):
+    kernel = Kernel()
+    return kernel, SSM(kernel, lease_ttl=lease_ttl)
+
+
+def test_write_read_roundtrip():
+    _, store = make_store()
+    store.write("c1", make_session())
+    assert store.read("c1").user_id == 1
+
+
+def test_read_missing_is_none():
+    _, store = make_store()
+    assert store.read("ghost") is None
+
+
+def test_survival_semantics_flags():
+    assert SSM.survives_microreboot
+    assert SSM.survives_jvm_restart
+
+
+def test_jvm_exit_loses_nothing():
+    _, store = make_store()
+    store.write("c1", make_session())
+    store.notify_jvm_exit(server=None)
+    assert store.read("c1") is not None
+
+
+def test_checksum_corruption_detected_and_discarded():
+    """Table 2: 'corruption detected via checksum; bad object
+    automatically discarded' — no reboot involved."""
+    _, store = make_store()
+    store.write("c1", make_session())
+    store._raw("c1").attributes["user_id"] = 999  # bit flip
+    assert store.read("c1") is None
+    assert store.checksum_failures == 1
+    assert store.read("c1") is None  # gone for good
+
+
+def test_lease_expiry_garbage_collects():
+    kernel, store = make_store(lease_ttl=10.0)
+    store.write("c1", make_session())
+    kernel.run(until=11.0)
+    assert store.read("c1") is None
+    assert len(store) == 0
+
+
+def test_read_renews_lease():
+    kernel, store = make_store(lease_ttl=10.0)
+    store.write("c1", make_session())
+    kernel.run(until=8.0)
+    assert store.read("c1") is not None  # renews to t=18
+    kernel.run(until=15.0)
+    assert store.read("c1") is not None  # still live
+    kernel.run(until=40.0)
+    assert store.read("c1") is None
+
+
+def test_orphaned_sessions_collected_on_any_read():
+    kernel, store = make_store(lease_ttl=5.0)
+    store.write("orphan", make_session("orphan"))
+    store.write("fresh", make_session("fresh", 2))
+    kernel.run(until=6.0)
+    store.write("fresh", make_session("fresh", 2))  # re-grants fresh only
+    store.read("fresh")
+    assert "orphan" not in store.session_ids()
+
+
+def test_delete_releases_lease():
+    _, store = make_store()
+    store.write("c1", make_session())
+    store.delete("c1")
+    assert store.read("c1") is None
+    assert len(store.leases) == 0
+
+
+def test_write_seals_a_copy():
+    _, store = make_store()
+    original = make_session()
+    store.write("c1", original)
+    original.attributes["user_id"] = 777  # caller mutates afterwards
+    stored = store.read("c1")
+    assert stored.attributes["user_id"] == 1
+    assert stored.checksum is not None

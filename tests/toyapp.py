@@ -1,0 +1,205 @@
+"""A minimal application for platform-level tests.
+
+Keeps the appserver/core/stores tests independent of the full eBid
+application: two group-coupled entity beans, a standalone entity bean, a
+stateless session bean, and a tiny WAR.
+"""
+
+from types import SimpleNamespace
+
+from repro.appserver import (
+    ApplicationServer,
+    DeploymentDescriptor,
+    EntityBean,
+    StatelessSessionBean,
+    WebComponent,
+)
+from repro.appserver.descriptors import ComponentKind, TxAttribute
+from repro.appserver.http import HttpRequest, HttpResponse, HttpStatus
+from repro.appserver.timing import TimingModel
+from repro.core import MicrorebootCoordinator, RetryPolicy
+from repro.sim import Kernel, RngRegistry
+from repro.stores import Database, FastS
+
+
+class AccountBean(EntityBean):
+    """Entity bean: one row per account, group-coupled with LedgerBean."""
+
+    def balance(self, ctx, account_id):
+        row = yield from self.ejb_load(ctx, account_id)
+        if row is None:
+            raise self.app_error(f"no account {account_id}")
+        return row["balance"]
+
+    def adjust(self, ctx, account_id, delta):
+        row = yield from self.ejb_load(ctx, account_id)
+        if row is None:
+            raise self.app_error(f"no account {account_id}")
+        yield from self.ejb_store(ctx, account_id, balance=row["balance"] + delta)
+
+
+class LedgerBean(EntityBean):
+    """Entity bean: append-only transfer log, group-coupled with Account."""
+
+    def record(self, ctx, entry_id, account_id, delta):
+        yield from self.ejb_create(
+            ctx, {"id": entry_id, "account_id": account_id, "delta": delta}
+        )
+
+    def entries_for(self, ctx, account_id):
+        rows = yield from self.ejb_find(ctx, account_id=account_id)
+        return rows
+
+
+class AuditBean(EntityBean):
+    """Entity bean outside any recovery group."""
+
+    def note(self, ctx, note_id, text):
+        yield from self.ejb_create(ctx, {"id": note_id, "text": text})
+
+
+class TransferBean(StatelessSessionBean):
+    """Stateless session bean: a two-write transactional operation."""
+
+    def __init__(self):
+        super().__init__()
+        self.fee = 0  # instance attribute, corruptible by fault injection
+
+    def transfer(self, ctx, entry_id, account_id, delta):
+        if self.fee is None:
+            raise self.app_error("fee attribute is null")
+        yield from ctx.consume(0.001)
+        yield from ctx.call("Account", "adjust", account_id, delta - self.fee)
+        yield from ctx.call("Ledger", "record", entry_id, account_id, delta)
+        return delta - self.fee
+
+
+class GreeterBean(StatelessSessionBean):
+    """Stateless session bean with no persistence."""
+
+    def greet(self, ctx, who):
+        yield from ctx.consume(0.01)
+        return f"hello {who}"
+
+
+class ToyWar(WebComponent):
+    def on_start(self):
+        self.register_servlet("/toy/greet", self.greet_servlet)
+        self.register_servlet("/toy/transfer", self.transfer_servlet)
+        self.register_servlet("/toy/balance", self.balance_servlet)
+
+    def greet_servlet(self, ctx, request):
+        text = yield from ctx.call("Greeter", "greet", request.params.get("who", "world"))
+        return HttpResponse(HttpStatus.OK, body=text, payload={"text": text})
+
+    def transfer_servlet(self, ctx, request):
+        amount = yield from ctx.call(
+            "Transfer",
+            "transfer",
+            request.params["entry_id"],
+            request.params["account_id"],
+            request.params["delta"],
+        )
+        return HttpResponse(HttpStatus.OK, body=f"moved {amount}", payload={"amount": amount})
+
+    def balance_servlet(self, ctx, request):
+        balance = yield from ctx.call("Account", "balance", request.params["account_id"])
+        return HttpResponse(HttpStatus.OK, body=f"balance {balance}", payload={"balance": balance})
+
+
+def toy_descriptors():
+    """Deployment descriptors; small recovery times keep tests quick."""
+    return [
+        DeploymentDescriptor(
+            name="Account",
+            kind=ComponentKind.ENTITY,
+            factory=AccountBean,
+            table="accounts",
+            group_references=("Ledger",),
+            crash_time=0.005,
+            reinit_time=0.100,
+            tx_methods={"adjust": TxAttribute.SUPPORTS},
+        ),
+        DeploymentDescriptor(
+            name="Ledger",
+            kind=ComponentKind.ENTITY,
+            factory=LedgerBean,
+            table="ledger",
+            crash_time=0.005,
+            reinit_time=0.120,
+            tx_methods={"record": TxAttribute.SUPPORTS},
+        ),
+        DeploymentDescriptor(
+            name="Audit",
+            kind=ComponentKind.ENTITY,
+            factory=AuditBean,
+            table="audit",
+            crash_time=0.005,
+            reinit_time=0.080,
+        ),
+        DeploymentDescriptor(
+            name="Transfer",
+            kind=ComponentKind.STATELESS_SESSION,
+            factory=TransferBean,
+            references=("Account", "Ledger"),
+            crash_time=0.004,
+            reinit_time=0.150,
+            tx_methods={"transfer": TxAttribute.REQUIRED},
+        ),
+        DeploymentDescriptor(
+            name="Greeter",
+            kind=ComponentKind.STATELESS_SESSION,
+            factory=GreeterBean,
+            crash_time=0.004,
+            reinit_time=0.090,
+        ),
+        DeploymentDescriptor(
+            name="ToyWAR",
+            kind=ComponentKind.WEB,
+            factory=ToyWar,
+            crash_time=0.010,
+            reinit_time=0.300,
+            pool_size=1,
+        ),
+    ]
+
+
+URL_PATH_MAP = {
+    "/toy/greet": ("ToyWAR", "Greeter"),
+    "/toy/transfer": ("ToyWAR", "Transfer", "Account", "Ledger"),
+    "/toy/balance": ("ToyWAR", "Account"),
+}
+
+
+def build_toy_system(seed=0, retry_policy=None, jitter=0.0):
+    """A booted single-node toy system, clock at 0 after a warm boot."""
+    kernel = Kernel()
+    rng = RngRegistry(seed)
+    timing = TimingModel(jitter=jitter)
+    server = ApplicationServer(kernel, rng.stream("server"), timing=timing)
+    database = Database(kernel)
+    for table in ("accounts", "ledger", "audit"):
+        database.create_table(table)
+    database.insert("accounts", {"id": 1, "balance": 100})
+    database.insert("accounts", {"id": 2, "balance": 50})
+    server.database = database
+    server.session_store = FastS()
+    server.deploy("toy", toy_descriptors())
+    kernel.run_until_triggered(kernel.process(server.boot(cold=False)))
+    coordinator = MicrorebootCoordinator(
+        server, "toy", retry_policy=retry_policy or RetryPolicy.disabled()
+    )
+    return SimpleNamespace(
+        kernel=kernel,
+        rng=rng,
+        server=server,
+        database=database,
+        coordinator=coordinator,
+    )
+
+
+def issue(system, url, params=None, idempotent=True):
+    """Issue one request and run the simulation until its response."""
+    request = HttpRequest(url=url, operation=url.rsplit("/", 1)[-1], params=params or {}, idempotent=idempotent)
+    event = system.server.handle_request(request)
+    return system.kernel.run_until_triggered(event)

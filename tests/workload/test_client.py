@@ -1,0 +1,161 @@
+"""Tests for the emulated client population."""
+
+import pytest
+
+from repro.appserver.http import HttpStatus
+from repro.ebid.app import build_ebid_system
+from repro.ebid.schema import DatasetConfig
+from repro.workload.client import ClientPopulation, EmulatedClient
+from repro.workload.markov import WorkloadProfile
+
+
+def make_population(n_clients=30, seed=11, duration=240.0, reporter=None):
+    system = build_ebid_system(dataset=DatasetConfig.tiny(), seed=seed)
+    population = ClientPopulation(
+        system.kernel,
+        system.server,
+        DatasetConfig.tiny(),
+        n_clients=n_clients,
+        rng_registry=system.rng,
+        reporter=reporter,
+    )
+    population.start()
+    system.kernel.run(until=duration)
+    return system, population
+
+
+def test_fault_free_run_has_no_failures():
+    _system, population = make_population()
+    assert population.metrics.failed_requests == 0
+    assert population.metrics.good_requests > 200
+
+
+def test_clients_progress_through_sessions():
+    _system, population = make_population()
+    names = {a.name for a in population.metrics.actions}
+    assert "Login" in names
+    assert "Logout" in names
+    assert len(names) > 8  # a healthy variety of actions
+
+
+def test_actions_follow_their_templates():
+    _system, population = make_population()
+    from repro.workload.markov import ACTION_TEMPLATES
+
+    for action in population.metrics.actions:
+        template = ACTION_TEMPLATES[action.name]
+        ops = tuple(op.operation for op in action.operations)
+        assert ops == template[: len(ops)]  # prefix (aborted actions stop early)
+
+
+def test_failures_are_reported():
+    reports = []
+    system = build_ebid_system(dataset=DatasetConfig.tiny(), seed=11)
+    population = ClientPopulation(
+        system.kernel,
+        system.server,
+        DatasetConfig.tiny(),
+        n_clients=30,
+        rng_registry=system.rng,
+        reporter=reports.append,
+    )
+    population.start()
+    system.kernel.run(until=60.0)
+    from repro.faults import FaultInjector
+
+    FaultInjector(system).inject_transient_exception("BrowseCategories")
+    system.kernel.run(until=180.0)
+    assert reports
+    assert all(r.url == "/ebid/BrowseCategories" for r in reports)
+
+
+def test_client_reacts_to_lost_session():
+    """After a JVM restart destroys FastS, clients notice the login prompt,
+    end the session, and log in again."""
+    system = build_ebid_system(dataset=DatasetConfig.tiny(), seed=11)
+    population = ClientPopulation(
+        system.kernel, system.server, DatasetConfig.tiny(),
+        n_clients=30, rng_registry=system.rng,
+    )
+    population.start()
+    system.kernel.run(until=120.0)
+
+    def restart():
+        yield from system.server.restart_jvm()
+
+    system.kernel.run_until_triggered(system.kernel.process(restart()))
+    system.kernel.run(until=400.0)
+    metrics = population.metrics
+    app_specific = metrics.failures_by_kind.get("app-specific", 0)
+    assert app_specific > 0  # someone hit the login prompt
+    # New sessions were established afterwards: logins after the restart.
+    late_logins = [
+        a for a in metrics.actions
+        if a.name == "Login" and a.started_at > 140.0 and a.committed
+    ]
+    assert late_logins
+
+
+def test_retry_on_503(monkeypatch):
+    """An idempotent request that gets 503+Retry-After is retried."""
+    system = build_ebid_system(dataset=DatasetConfig.tiny(), seed=3)
+    client = EmulatedClient(
+        client_id=0,
+        kernel=system.kernel,
+        rng=system.rng.stream("c"),
+        frontend=system.server,
+        dataset=DatasetConfig.tiny(),
+    )
+    from repro.appserver.http import HttpResponse
+
+    calls = []
+    real_handle = system.server.handle_request
+
+    def flaky_handle(request):
+        calls.append(request.operation)
+        if len(calls) == 1:
+            done = system.kernel.event()
+            done.succeed(
+                HttpResponse(HttpStatus.SERVICE_UNAVAILABLE, retry_after=0.5)
+            )
+            return done
+        return real_handle(request)
+
+    monkeypatch.setattr(system.server, "handle_request", flaky_handle)
+    record_holder = []
+
+    def driver():
+        record = yield from client._do_operation("BrowseCategories", {})
+        record_holder.append(record)
+
+    system.kernel.run_until_triggered(system.kernel.process(driver()))
+    assert record_holder[0].ok
+    assert record_holder[0].retries == 1
+    assert len(calls) == 2
+
+
+def test_client_timeout_records_failure():
+    system = build_ebid_system(dataset=DatasetConfig.tiny(), seed=3)
+    system.server.request_lease_ttl = 1e9  # disable the server-side lease
+    client = EmulatedClient(
+        client_id=0,
+        kernel=system.kernel,
+        rng=system.rng.stream("c"),
+        frontend=system.server,
+        dataset=DatasetConfig.tiny(),
+        profile=WorkloadProfile(request_timeout=2.0),
+    )
+    from repro.faults import FaultInjector
+
+    FaultInjector(system).inject_deadlock("BrowseCategories")
+
+    def driver():
+        record = yield from client._do_operation("BrowseCategories", {})
+        return record
+
+    process = system.kernel.process(driver())
+    system.kernel.run(until=30.0)
+    record = process.value
+    assert not record.ok
+    assert record.failure_kind == "timeout"
+    assert record.response_time == pytest.approx(2.0, abs=0.1)

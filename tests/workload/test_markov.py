@@ -1,0 +1,107 @@
+"""Tests for the Markov workload model."""
+
+import random
+
+import pytest
+
+from repro.ebid.descriptors import OPERATIONS
+from repro.workload.markov import ACTION_TEMPLATES, WorkloadProfile
+
+
+def test_action_templates_reference_real_operations():
+    for action, script in ACTION_TEMPLATES.items():
+        for operation in script:
+            assert operation in OPERATIONS, (action, operation)
+
+
+def test_templates_cover_all_25_operations():
+    covered = {op for script in ACTION_TEMPLATES.values() for op in script}
+    assert covered == set(OPERATIONS)
+
+
+def test_unknown_action_weight_rejected():
+    with pytest.raises(ValueError):
+        WorkloadProfile(mid_action_weights={"NoSuchAction": 1.0})
+
+
+def test_think_time_capped():
+    profile = WorkloadProfile()
+    rng = random.Random(0)
+    draws = [profile.think_time(rng) for _ in range(5000)]
+    assert all(d <= profile.think_time_max for d in draws)
+    assert sum(draws) / len(draws) == pytest.approx(7.0, rel=0.1)
+
+
+def test_sessions_start_with_login_or_register():
+    profile = WorkloadProfile()
+    rng = random.Random(1)
+    starts = {next(iter(profile.session_actions(rng))) for _ in range(200)}
+    assert starts <= {"Login", "Register"}
+    assert "Login" in starts and "Register" in starts
+
+
+def test_register_fraction_matches_probability():
+    profile = WorkloadProfile(register_probability=0.10)
+    rng = random.Random(2)
+    registers = sum(
+        1 for _ in range(4000) if profile.first_action(rng) == "Register"
+    )
+    assert registers / 4000 == pytest.approx(0.10, abs=0.02)
+
+
+def test_logout_fraction_matches_probability():
+    profile = WorkloadProfile(logout_probability=0.75)
+    rng = random.Random(3)
+    logouts = sum(
+        1
+        for _ in range(2000)
+        if list(profile.session_actions(rng))[-1] == "Logout"
+    )
+    assert logouts / 2000 == pytest.approx(0.75, abs=0.03)
+
+
+def test_mean_session_length_supports_table1_mix():
+    """Sessions must average ≈7.6 operations so that login+logout are 23%."""
+    profile = WorkloadProfile()
+    rng = random.Random(4)
+    ops = [
+        sum(len(ACTION_TEMPLATES[a]) for a in profile.session_actions(rng))
+        for _ in range(4000)
+    ]
+    assert sum(ops) / len(ops) == pytest.approx(7.6, rel=0.06)
+
+
+def test_mid_action_distribution_matches_weights():
+    profile = WorkloadProfile()
+    rng = random.Random(5)
+    counts = {}
+    draws = 50_000
+    for _ in range(draws):
+        action = profile.next_mid_action(rng)
+        if action is not None:
+            counts[action] = counts.get(action, 0) + 1
+    total = sum(counts.values())
+    weights_total = sum(profile.mid_action_weights.values())
+    for action, weight in profile.mid_action_weights.items():
+        expected = weight / weights_total
+        assert counts.get(action, 0) / total == pytest.approx(
+            expected, abs=0.01
+        ), action
+
+
+def test_browse_categories_most_frequent_operation():
+    """§5.2: BrowseCategories is the most-frequently called EJB."""
+    profile = WorkloadProfile()
+    rng = random.Random(6)
+    counts = {}
+    for _ in range(3000):
+        for action in profile.session_actions(rng):
+            for op in ACTION_TEMPLATES[action]:
+                counts[op] = counts.get(op, 0) + 1
+    dynamic = {
+        op: c for op, c in counts.items()
+        if OPERATIONS[op][0].value != "static HTML content"
+    }
+    top = max(dynamic, key=dynamic.get)
+    assert top in ("BrowseCategories", "Authenticate")
+    assert counts["BrowseCategories"] >= 0.9 * counts["Authenticate"]

@@ -1,0 +1,125 @@
+"""Tests for the action-weighted throughput (Taw) accounting."""
+
+import pytest
+
+from repro.workload.metrics import ActionRecord, OperationRecord, TawAccounting
+
+
+def op(name="ViewItem", issued=10.0, completed=10.5, ok=True, group="Browse/View"):
+    return OperationRecord(
+        operation=name,
+        url=f"/ebid/{name}",
+        issued_at=issued,
+        completed_at=completed,
+        ok=ok,
+        response_time=completed - issued,
+        functional_group=group,
+    )
+
+
+def action(name="ViewItem", ops=()):
+    record = ActionRecord(name=name, client_id=1, started_at=0.0)
+    record.operations = list(ops)
+    return record
+
+
+def test_committed_action_counts_all_ops_good():
+    metrics = TawAccounting()
+    metrics.record_action(action(ops=[op(issued=1, completed=2),
+                                      op(issued=3, completed=4)]))
+    assert metrics.good_requests == 2
+    assert metrics.failed_requests == 0
+    assert metrics.good_actions == 1
+
+
+def test_one_failure_retroactively_fails_the_whole_action():
+    """The heart of Taw (§4): actions succeed or fail atomically."""
+    metrics = TawAccounting()
+    metrics.record_action(
+        action(
+            name="PlaceBid",
+            ops=[
+                op("ViewItem", 1, 2, ok=True),
+                op("MakeBid", 3, 4, ok=True),
+                op("CommitBid", 5, 6, ok=False),
+            ],
+        )
+    )
+    assert metrics.failed_requests == 3  # the earlier successes count bad
+    assert metrics.good_requests == 0
+    assert metrics.failed_actions == 1
+
+
+def test_series_bucketing_by_second():
+    metrics = TawAccounting()
+    metrics.record_action(action(ops=[op(issued=10.2, completed=10.9)]))
+    metrics.record_action(action(ops=[op(issued=10.5, completed=11.1)]))
+    series = metrics.good_taw_series()
+    assert series[10] == 1
+    assert series[11] == 1
+
+
+def test_requests_in_window():
+    metrics = TawAccounting()
+    metrics.record_action(action(ops=[op(issued=5, completed=5.5)]))
+    metrics.record_action(action(ops=[op(issued=20, completed=20.5, ok=False)]))
+    good, bad = metrics.requests_in_window(0, 10)
+    assert (good, bad) == (1, 0)
+    good, bad = metrics.requests_in_window(10, 30)
+    assert (good, bad) == (0, 1)
+
+
+def test_operations_mix():
+    metrics = TawAccounting()
+    metrics.record_action(action(ops=[op("ViewItem"), op("ViewItem"),
+                                      op("MakeBid")]))
+    mix = metrics.operations_mix()
+    assert mix["ViewItem"] == pytest.approx(2 / 3)
+    assert mix["MakeBid"] == pytest.approx(1 / 3)
+
+
+def test_response_time_stats():
+    metrics = TawAccounting()
+    metrics.record_action(action(ops=[op(issued=0, completed=0.5),
+                                      op(issued=1, completed=10.0)]))
+    assert metrics.mean_response_time() == pytest.approx((0.5 + 9.0) / 2)
+    assert metrics.response_times_over(8.0) == 1
+
+
+def test_response_time_series_buckets_means():
+    metrics = TawAccounting()
+    metrics.record_action(action(ops=[op(issued=0, completed=0.2),
+                                      op(issued=0.5, completed=0.9)]))
+    series = metrics.response_time_series(bucket_seconds=1.0)
+    assert series[0.0] == pytest.approx(0.3)
+
+
+def test_group_unavailability_merges_spans():
+    metrics = TawAccounting()
+    metrics.record_action(
+        action(ops=[op(issued=10, completed=12, ok=False)])
+    )
+    metrics.record_action(
+        action(ops=[op(issued=11, completed=14, ok=False)])
+    )
+    metrics.record_action(
+        action(ops=[op(issued=30, completed=31, ok=False)])
+    )
+    spans = metrics.group_unavailability("Browse/View")
+    assert spans == [(10, 14), (30, 31)]
+
+
+def test_group_unavailability_pads_instant_failures():
+    metrics = TawAccounting()
+    metrics.record_action(action(ops=[op(issued=10, completed=10, ok=False)]))
+    spans = metrics.group_unavailability("Browse/View", min_span=1.0)
+    assert spans == [(10, 11)]
+
+
+def test_failures_by_kind_and_operation():
+    metrics = TawAccounting()
+    failed = op("CommitBid", ok=False)
+    failed.failure_kind = "http-error"
+    metrics.record_action(action(ops=[failed]))
+    assert metrics.failures_by_operation["CommitBid"] == 1
+    assert metrics.failures_by_kind["http-error"] == 1
