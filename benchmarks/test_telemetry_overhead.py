@@ -1,0 +1,68 @@
+"""Bench: wall-clock cost of the telemetry layer on the Figure 1 scenario.
+
+Two claims are measured, both on a scaled-down Figure 1 microreboot run:
+
+* tracing *disabled* (the default) is free — the instrumentation publishes
+  unconditionally and the bus no-ops, so no events exist afterwards;
+* tracing *enabled* adds less than 10% wall-clock overhead, so `--trace`
+  is cheap enough to leave on for any experiment run.
+
+Wall-clock comparisons are noisy, so each configuration is timed several
+times interleaved and the best (least-noise) time per configuration is
+compared.
+"""
+
+import time
+
+from repro.experiments.figure1 import run_one_policy
+from repro.telemetry import set_default_tracing
+from repro.telemetry.trace import begin_capture, end_capture
+
+ROUNDS = 5
+N_CLIENTS = 60
+FAULT_TIMES = (60.0, 120.0, 180.0)
+DURATION = 240.0
+MAX_OVERHEAD = 0.10
+
+
+def timed_run(traced):
+    previous = set_default_tracing(traced)
+    scope = begin_capture()
+    started = time.perf_counter()
+    try:
+        run_one_policy("microreboot", 0, N_CLIENTS, FAULT_TIMES, DURATION)
+    finally:
+        elapsed = time.perf_counter() - started
+        set_default_tracing(previous)
+        end_capture(scope)
+    return elapsed, sum(bus.published for bus in scope)
+
+
+def test_tracing_overhead_under_ten_percent():
+    timed_run(False)  # warm up imports, JIT-less but caches still matter
+    plain_times, traced_times = [], []
+    traced_events = plain_events = 0
+    for _ in range(ROUNDS):
+        elapsed, events = timed_run(False)
+        plain_times.append(elapsed)
+        plain_events += events
+        elapsed, events = timed_run(True)
+        traced_times.append(elapsed)
+        traced_events += events
+
+    # Disabled tracing records nothing at all; enabled records plenty.
+    assert plain_events == 0
+    assert traced_events > 0
+
+    best_plain = min(plain_times)
+    best_traced = min(traced_times)
+    overhead = best_traced / best_plain - 1
+    print(
+        f"\nplain {best_plain:.3f}s, traced {best_traced:.3f}s "
+        f"({traced_events // ROUNDS} events/run, "
+        f"overhead {100 * overhead:+.1f}%)"
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"tracing added {100 * overhead:.1f}% wall-clock overhead "
+        f"(budget {100 * MAX_OVERHEAD:.0f}%)"
+    )

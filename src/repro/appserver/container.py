@@ -87,6 +87,15 @@ class Container:
         metadata maintained on behalf of the component".  The classloader is
         deliberately *not* touched here.
         """
+        interrupted = sum(
+            1 for ctx in self.active_invocations if ctx.shepherd_process is not None
+        )
+        self.server.kernel.trace.publish(
+            "component.destroy",
+            component=self.name,
+            cause=cause,
+            interrupted_threads=interrupted,
+        )
         for ctx in list(self.active_invocations):
             if ctx.shepherd_process is not None:
                 ctx.shepherd_process.interrupt(cause=f"{cause}:{self.name}")

@@ -227,6 +227,12 @@ class ApplicationServer:
         if self.accept_fault is not None:
             return done.succeed(network_error_response(self.accept_fault))
         self.requests_accepted += 1
+        self.kernel.trace.publish(
+            "server.request.start",
+            server=self.name,
+            request_id=request.request_id,
+            operation=request.operation,
+        )
         self.kernel.process(
             self._request_lifecycle(request, done),
             name=f"lifecycle-{request.request_id}",
@@ -253,6 +259,13 @@ class ApplicationServer:
         self.requests_completed += 1
         key = "network" if getattr(response, "network_error", False) else int(response.status)
         self.responses_by_status[key] = self.responses_by_status.get(key, 0) + 1
+        self.kernel.trace.publish(
+            "server.request.end",
+            server=self.name,
+            request_id=request.request_id,
+            operation=request.operation,
+            status=key,
+        )
         done.succeed(response)
 
     def _serve(self, ctx, request):

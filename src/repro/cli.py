@@ -6,17 +6,25 @@ Usage::
     python -m repro run table1
     python -m repro run figure1 --quick --seed 3
     python -m repro run all --out-dir results/
+    python -m repro run figure1 --quick --trace figure1.jsonl
+    python -m repro trace figure1.jsonl
 
 Each experiment prints its rendered table (and ASCII figures, where the
 paper has a figure) to stdout; ``--out-dir`` additionally writes one text
-file per experiment.
+file per experiment.  ``--trace`` enables the telemetry layer for the run
+and writes every kernel's event timeline to one JSONL file, which the
+``trace`` subcommand summarizes (recovery timeline, failover windows,
+slowest requests).
 """
 
 import argparse
 import inspect
 import sys
 import time
+from contextlib import nullcontext
 from pathlib import Path
+
+from repro.telemetry import capture_to_jsonl, read_timeline, summarize_timeline
 
 from repro.experiments import (
     availability,
@@ -72,6 +80,15 @@ def build_parser():
                      help="smallest parameters (fast smoke run)")
     run.add_argument("--out-dir", type=Path, default=None,
                      help="also write rendered output files here")
+    run.add_argument("--trace", type=Path, default=None,
+                     help="enable tracing and write a JSONL timeline here")
+
+    trace = sub.add_parser(
+        "trace", help="summarize a JSONL trace timeline written by run --trace"
+    )
+    trace.add_argument("file", type=Path)
+    trace.add_argument("--slowest", type=int, default=5,
+                       help="how many slowest requests to show")
     return parser
 
 
@@ -99,21 +116,34 @@ def main(argv=None):
             print(f"  {name.ljust(width)}  {description}")
         return 0
 
+    if args.command == "trace":
+        if not args.file.exists():
+            print(f"error: no such trace file: {args.file}", file=sys.stderr)
+            return 2
+        print(summarize_timeline(read_timeline(args.file), slowest=args.slowest))
+        return 0
+
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        started = time.monotonic()
-        result = run_experiment(
-            name, seed=args.seed, full=args.full, quick=args.quick
-        )
-        elapsed = time.monotonic() - started
-        print(result.render())
-        print(f"[{name} regenerated in {elapsed:.1f}s wall time]")
-        print()
-        if args.out_dir is not None:
-            args.out_dir.mkdir(parents=True, exist_ok=True)
-            (args.out_dir / f"{name}.txt").write_text(
-                result.render() + "\n", encoding="utf-8"
+    capture = (
+        capture_to_jsonl(args.trace) if args.trace is not None else nullcontext()
+    )
+    with capture:
+        for name in names:
+            started = time.monotonic()
+            result = run_experiment(
+                name, seed=args.seed, full=args.full, quick=args.quick
             )
+            elapsed = time.monotonic() - started
+            print(result.render())
+            print(f"[{name} regenerated in {elapsed:.1f}s wall time]")
+            print()
+            if args.out_dir is not None:
+                args.out_dir.mkdir(parents=True, exist_ok=True)
+                (args.out_dir / f"{name}.txt").write_text(
+                    result.render() + "\n", encoding="utf-8"
+                )
+    if args.trace is not None:
+        print(f"[trace timeline written to {args.trace}]")
     return 0
 
 

@@ -14,6 +14,8 @@ session affinity."  During a recovery the balancer supports three schemes:
 
 import enum
 
+from repro.telemetry.metrics import MetricsRegistry
+
 
 class FailoverMode(enum.Enum):
     NONE = "none"
@@ -24,17 +26,35 @@ class FailoverMode(enum.Enum):
 class LoadBalancer:
     """Routes client requests to cluster nodes."""
 
-    def __init__(self, kernel, nodes, url_path_map=None):
+    def __init__(self, kernel, nodes, url_path_map=None, metrics=None):
         self.kernel = kernel
         self.nodes = list(nodes)
         self.url_path_map = dict(url_path_map or {})
         self._affinity = {}  # cookie -> node
+        #: Shared round-robin cursor over the *stable* ``self.nodes`` order.
+        #: Never modded by a shifting candidate-list length: during failover
+        #: ineligible nodes are skipped in place, so the rotation (and thus
+        #: the spread) survives nodes leaving and rejoining.
         self._round_robin = 0
         #: node -> (FailoverMode, components being recovered)
         self._recovering = {}
-        self.requests_routed = 0
-        self.requests_failed_over = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._routed = self.metrics.counter("lb.requests.routed")
+        self._failed_over = self.metrics.counter("lb.requests.failed_over")
+        self._forward_failures = self.metrics.counter("lb.forward.failures")
         self.sessions_failed_over = set()
+
+    @property
+    def requests_routed(self):
+        return int(self._routed.value)
+
+    @property
+    def requests_failed_over(self):
+        return int(self._failed_over.value)
+
+    @property
+    def forward_failures(self):
+        return int(self._forward_failures.value)
 
     # ------------------------------------------------------------------
     # Recovery coordination (the RM notifies us, §5.3)
@@ -42,10 +62,17 @@ class LoadBalancer:
     def begin_failover(self, node, mode=FailoverMode.FULL, components=()):
         """A node is about to recover: start redirecting per ``mode``."""
         self._recovering[node.name] = (mode, frozenset(components))
+        self.kernel.trace.publish(
+            "lb.failover.begin",
+            node=node.name,
+            mode=mode.value,
+            components=tuple(components),
+        )
 
     def end_failover(self, node):
         """The node recovered: requests are distributed as before."""
-        self._recovering.pop(node.name, None)
+        if self._recovering.pop(node.name, None) is not None:
+            self.kernel.trace.publish("lb.failover.end", node=node.name)
 
     def recovering_nodes(self):
         return set(self._recovering)
@@ -55,7 +82,7 @@ class LoadBalancer:
     # ------------------------------------------------------------------
     def handle_request(self, request):
         """Route one request; returns an event (same contract as a server)."""
-        self.requests_routed += 1
+        self._routed.inc()
         node = self._route(request)
         done = self.kernel.event()
         self.kernel.process(
@@ -65,7 +92,21 @@ class LoadBalancer:
         return done
 
     def _forward(self, node, request, done):
-        response = yield node.server.handle_request(request)
+        try:
+            response = yield node.server.handle_request(request)
+        except Exception as exc:  # noqa: BLE001 - propagate, never hang
+            # The forwarded event failed: without failing ``done`` the
+            # client would wait on it forever and Taw would never account
+            # the request.
+            self._forward_failures.inc()
+            self.kernel.trace.publish(
+                "lb.forward.error",
+                node=node.name,
+                url=request.url,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            done.fail(exc)
+            return
         cookie = (response.payload or {}).get("cookie")
         if cookie:
             self._affinity[cookie] = node
@@ -83,10 +124,18 @@ class LoadBalancer:
             return node
         if mode is FailoverMode.MICRO and not self._touches(request, components):
             return node
-        self.requests_failed_over += 1
+        self._failed_over.inc()
         if request.cookie:
             self.sessions_failed_over.add(request.cookie)
-        return self._next_good_node(exclude=node)
+        target = self._next_good_node(exclude=node)
+        self.kernel.trace.publish(
+            "lb.failover",
+            url=request.url,
+            from_node=node.name,
+            to_node=target.name,
+            mode=mode.value,
+        )
+        return target
 
     def _touches(self, request, components):
         """Would this request's call path enter any recovering component?"""
@@ -111,5 +160,14 @@ class LoadBalancer:
         ]
         if not candidates:
             candidates = [n for n in self.nodes if n is not exclude] or self.nodes
-        self._round_robin += 1
-        return candidates[self._round_robin % len(candidates)]
+        eligible = {id(node) for node in candidates}
+        # Walk the stable ring from the shared cursor, skipping ineligible
+        # nodes in place; modding by len(candidates) would re-seat the whole
+        # rotation every time the candidate list changed length (failover
+        # begin/end), skewing the spread toward some nodes.
+        for _ in range(len(self.nodes)):
+            node = self.nodes[self._round_robin % len(self.nodes)]
+            self._round_robin += 1
+            if id(node) in eligible:
+                return node
+        return candidates[0]

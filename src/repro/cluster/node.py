@@ -54,20 +54,32 @@ class Node:
     def restart_jvm(self):
         """Generator: kill -9 the JVM and cold-boot it (§4, via ssh)."""
         self.jvm_restarts += 1
+        started = self.kernel.now
+        self.kernel.trace.publish("node.restart", node=self.name, action="jvm")
         self.system.database.close_sessions_owned_by(
             self._db_session_owners()
         )
         yield from self.server.restart_jvm()
         # A JVM restart does not help an exhausted OS: reinstate pressure.
         self._apply_os_pressure()
+        self.kernel.trace.publish(
+            "node.restart.end", node=self.name, action="jvm",
+            duration=self.kernel.now - started,
+        )
 
     def reboot_os(self):
         """Generator: reboot the whole node."""
         self.os_reboots += 1
+        started = self.kernel.now
+        self.kernel.trace.publish("node.restart", node=self.name, action="os")
         self.server.kill()
         yield self.kernel.timeout(self.server.timing.os_reboot_time)
         self.os_leaked = 0
         yield from self.server.boot(cold=True)
+        self.kernel.trace.publish(
+            "node.restart.end", node=self.name, action="os",
+            duration=self.kernel.now - started,
+        )
 
     def _db_session_owners(self):
         """Owners of database sessions opened from this JVM.

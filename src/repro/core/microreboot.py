@@ -96,16 +96,23 @@ class MicrorebootCoordinator:
     # ------------------------------------------------------------------
     # The microreboot method (invocable programmatically or "over HTTP")
     # ------------------------------------------------------------------
-    def microreboot(self, names):
+    def microreboot(self, names, level="ejb"):
         """Generator: microreboot the given components (and their groups)."""
         kernel = self.server.kernel
         targets = self.expand_targets(names)
         event = RebootEvent(
             started_at=kernel.now,
-            level="ejb",
+            level=level,
             components=tuple(targets),
         )
         estimate = self.estimated_recovery_time(names)
+        kernel.trace.publish(
+            "component.microreboot.begin",
+            level=level,
+            components=tuple(targets),
+            estimate=estimate,
+            server=self.server.name,
+        )
 
         # Phase 1: sentinels up — new calls see RetryAfter(t), not errors.
         for name in targets:
@@ -147,6 +154,14 @@ class MicrorebootCoordinator:
         event.finished_at = kernel.now
         self.events.append(event)
         self.microreboot_count += 1
+        kernel.trace.publish(
+            "component.microreboot.end",
+            level=level,
+            components=tuple(targets),
+            duration=event.duration,
+            memory_released=event.memory_released,
+            server=self.server.name,
+        )
         return event
 
     def microreboot_war(self):
@@ -159,8 +174,7 @@ class MicrorebootCoordinator:
         war = self.server.web_component_name
         if war is None:
             raise AppServerError("no web component deployed")
-        event = yield from self.microreboot([war])
-        event.level = "war"
+        event = yield from self.microreboot([war], level="war")
         store = self.server.session_store
         if store is not None and hasattr(store, "sweep_invalid"):
             store.sweep_invalid()
@@ -181,6 +195,12 @@ class MicrorebootCoordinator:
             started_at=kernel.now,
             level="application",
             components=tuple(targets),
+        )
+        kernel.trace.publish(
+            "component.microreboot.begin",
+            level="application",
+            components=tuple(targets),
+            server=self.server.name,
         )
         estimate = timing.app_restart_crash_time + timing.app_restart_reinit_time
         for name in targets:
@@ -211,4 +231,12 @@ class MicrorebootCoordinator:
         event.finished_at = kernel.now
         self.events.append(event)
         self.app_restart_count += 1
+        kernel.trace.publish(
+            "component.microreboot.end",
+            level="application",
+            components=tuple(targets),
+            duration=event.duration,
+            memory_released=event.memory_released,
+            server=self.server.name,
+        )
         return event

@@ -20,6 +20,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.sim.resources import Queue
+from repro.telemetry.metrics import MetricsRegistry
 
 
 class FailureKind(enum.Enum):
@@ -55,6 +56,12 @@ class RecoveryAction:
     target: tuple
     trigger: FailureKind
     finished_at: float = None
+    #: Set when the action itself raised; the RM records it and moves on.
+    error: str = None
+
+    @property
+    def ok(self):
+        return self.error is None
 
 
 #: The recursive policy's escalation ladder (§4).
@@ -79,6 +86,7 @@ class RecoveryManager:
         max_ejb_attempts=2,
         score_window=25.0,
         kind_weights=None,
+        metrics=None,
     ):
         if policy not in ("recursive", "process-restart"):
             raise ValueError(f"unknown recovery policy {policy!r}")
@@ -121,6 +129,12 @@ class RecoveryManager:
         #: re-logs-in), so they count less towards recovery decisions.
         self.kind_weights = dict(kind_weights or {FailureKind.APP_SPECIFIC: 0.2})
         self._recent_reports = []  # (time, path components, weight)
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._reports_received = self.metrics.counter("rm.reports.received")
+        self._reports_stale = self.metrics.counter("rm.reports.stale")
+        self._actions_by_level = self.metrics.family("rm.actions.by_level")
+        self._action_errors = self.metrics.counter("rm.actions.errors")
 
         self.inbox = Queue(kernel)
         self.scores = {}
@@ -217,8 +231,16 @@ class RecoveryManager:
     def _run(self):
         while True:
             report = yield self.inbox.get()
+            self._reports_received.inc()
+            self.kernel.trace.publish(
+                "rm.report",
+                url=report.url,
+                failure=report.kind.value,
+                client=report.client_id,
+            )
             if self._last_action_end is not None:
                 if report.time < self._last_action_end:
+                    self._reports_stale.inc()
                     continue  # stale: the failure predates the last recovery
                 if (
                     report.kind is FailureKind.APP_SPECIFIC
@@ -294,6 +316,12 @@ class RecoveryManager:
         action = RecoveryAction(
             decided_at=now, level=level, target=target, trigger=report.kind
         )
+        self.kernel.trace.publish(
+            "rm.decision",
+            level=level,
+            target=action.target,
+            trigger=report.kind.value,
+        )
         self.recovering = True
         try:
             if level == "ejb":
@@ -310,19 +338,36 @@ class RecoveryManager:
                 yield from self._reboot_os()
             else:  # human
                 self.human_notified = True
+        except Exception as exc:  # noqa: BLE001 - a failed action must not
+            # wedge the RM: before this handler existed, an action that
+            # raised left ``actions`` unappended, ``_last_action_end``
+            # stale, and the scores intact, so the next report replayed the
+            # same escalation state forever.  Record the failed action and
+            # reset incident state exactly like the success path; the
+            # escalation ladder then tries the next-coarser level.
+            action.error = f"{type(exc).__name__}: {exc}"
+            self._action_errors.inc()
         finally:
             self.recovering = False
-
-        action.finished_at = self.kernel.now
-        self.actions.append(action)
-        self._last_action_end = action.finished_at
-        self._last_level_index = level_index
-        self.scores = {}
-        self._recent_reports = []
-        self.inbox.drain()  # reports queued during recovery are stale
-        self._check_recurring()
-        for listener in self.listeners:
-            listener(action)
+            action.finished_at = self.kernel.now
+            self.actions.append(action)
+            self._actions_by_level.inc(level)
+            self._last_action_end = action.finished_at
+            self._last_level_index = level_index
+            self.scores = {}
+            self._recent_reports = []
+            self.inbox.drain()  # reports queued during recovery are stale
+            self.kernel.trace.publish(
+                "rm.action.end",
+                level=level,
+                target=action.target,
+                ok=action.ok,
+                error=action.error,
+                duration=action.finished_at - action.decided_at,
+            )
+            self._check_recurring()
+            for listener in self.listeners:
+                listener(action)
 
     def _restart_jvm(self):
         if self.node_controller is not None:

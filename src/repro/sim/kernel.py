@@ -6,6 +6,7 @@ from itertools import count
 from repro.sim.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.telemetry.trace import TraceBus
 
 #: Sentinel return for :meth:`Kernel.peek` when the queue is empty.
 INFINITY = float("inf")
@@ -37,6 +38,10 @@ class Kernel:
         self._sequence = count()
         #: Failed events whose exception was never delivered to any process.
         self.unhandled_failures = []
+        #: Structured event tracing for everything running on this kernel.
+        #: Disabled unless telemetry's default says otherwise; instrumented
+        #: components publish unconditionally and the bus no-ops.
+        self.trace = TraceBus(self)
 
     @property
     def now(self):

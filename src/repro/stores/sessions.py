@@ -58,12 +58,18 @@ class SessionData:
         """
         if not isinstance(self.attributes, dict):
             raise SessionCorruptionError(self.session_id, "attributes are null")
-        if not isinstance(self.user_id, int) or self.user_id <= 0:
+        # bool is an int subclass, so a "wrong"-type corruption that swaps
+        # the user id for True would otherwise slip past this check.
+        if (
+            isinstance(self.user_id, bool)
+            or not isinstance(self.user_id, int)
+            or self.user_id <= 0
+        ):
             raise SessionCorruptionError(
                 self.session_id, f"invalid user id {self.user_id!r}"
             )
         bound_user = self.attributes.get("user_id", self.user_id)
-        if bound_user != self.user_id:
+        if isinstance(bound_user, bool) or bound_user != self.user_id:
             raise SessionCorruptionError(
                 self.session_id,
                 f"identity mismatch: object says {self.user_id}, "

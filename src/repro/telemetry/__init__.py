@@ -1,0 +1,57 @@
+"""Structured tracing and metrics for the whole stack.
+
+The paper's argument is quantitative — Taw dips, per-component microreboot
+times, detection latency — so the reproduction carries a first-class,
+zero-dependency observability layer instead of per-experiment ad-hoc
+counters:
+
+* :class:`TraceBus` — every :class:`~repro.sim.kernel.Kernel` owns one.
+  Components publish typed, timestamped events (``request.start``,
+  ``component.microreboot.begin`` …) into a bounded ring buffer with
+  optional subscriber callbacks.  Disabled by default: a run that does not
+  opt in records zero events and pays one attribute check per publish.
+* :class:`MetricsRegistry` — named counters, gauges, counter families and
+  streaming histograms (p50/p95/p99 without storing samples) that back the
+  accounting in ``workload.metrics``, ``cluster.load_balancer`` and
+  ``core.recovery_manager``.
+* JSONL timeline export plus ``python -m repro trace <file>`` to summarize
+  a run (recovery timeline, failover windows, slowest requests).
+"""
+
+from repro.telemetry.export import (
+    capture_to_jsonl,
+    read_timeline,
+    summarize_timeline,
+    write_timeline,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    CounterFamily,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.trace import (
+    TraceBus,
+    TraceEvent,
+    all_buses,
+    set_default_tracing,
+    tracing_enabled_by_default,
+)
+
+__all__ = [
+    "Counter",
+    "CounterFamily",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceBus",
+    "TraceEvent",
+    "all_buses",
+    "capture_to_jsonl",
+    "read_timeline",
+    "set_default_tracing",
+    "summarize_timeline",
+    "tracing_enabled_by_default",
+    "write_timeline",
+]

@@ -1,0 +1,260 @@
+"""The trace bus: typed, timestamped events in a bounded ring buffer.
+
+Every simulation kernel owns one bus (``kernel.trace``); instrumented
+components publish events through it.  Publishing is O(1) and the buffer is
+bounded, so million-request runs stay O(1) memory; a disabled bus costs one
+attribute check per publish and records nothing, keeping the hot path clean
+for runs that do not opt in.
+
+Event taxonomy (the kinds published by the built-in instrumentation):
+
+========================================  =====================================
+kind                                      published by / payload highlights
+========================================  =====================================
+``request.start`` / ``request.end``       workload client; operation, url,
+                                          ok, duration, failure kind
+``server.request.start`` / ``.end``       application server admission and
+                                          completion; status
+``component.destroy``                     container teardown; cause
+``component.microreboot.begin`` / ``.end``  microreboot coordinator; level,
+                                          components, duration
+``detector.report``                       client-side detector flagged a
+                                          response; kind, url
+``rm.report`` / ``rm.decision`` /         recovery manager: report received,
+``rm.action.end``                         action chosen, action finished
+                                          (ok/error)
+``lb.failover.begin`` / ``lb.failover``   load balancer: failover window
+/ ``lb.failover.end``                     opened, one request redirected,
+                                          window closed
+``node.restart``                          node controller; action jvm|os
+========================================  =====================================
+"""
+
+import weakref
+from collections import deque
+from dataclasses import dataclass, field
+
+#: Keys reserved for the envelope when events are flattened to JSONL.
+RESERVED_KEYS = ("t", "seq", "kind", "bus")
+
+#: Rare-but-load-bearing kinds kept in a separate reserved ring: a long run
+#: floods the main buffer with per-request events, and without this the
+#: recovery story (a handful of events per incident) would be evicted first.
+STICKY_PREFIXES = (
+    "rm.",
+    "component.microreboot.",
+    "lb.failover",
+    "lb.forward.error",
+    "node.restart",
+    "detector.mismatch",
+)
+
+#: Whether newly constructed buses start enabled (see set_default_tracing).
+_default_enabled = False
+
+#: Every live bus, so an exporter can collect a whole run's timelines even
+#: when the kernels are buried inside experiment rigs.
+_buses = weakref.WeakSet()
+
+#: Active capture scopes: each holds STRONG references to buses created
+#: while it is open, so a timeline survives its kernel being garbage
+#: collected before the capture exports it.
+_capture_scopes = []
+
+
+def begin_capture():
+    """Start collecting strong refs to new buses; returns the scope list."""
+    scope = []
+    _capture_scopes.append(scope)
+    return scope
+
+
+def end_capture(scope):
+    try:
+        _capture_scopes.remove(scope)
+    except ValueError:
+        pass
+
+
+def set_default_tracing(enabled):
+    """Make buses created from now on start enabled; returns the old value.
+
+    This is how the CLI turns on tracing for experiment runs without
+    threading a flag through every rig constructor.
+    """
+    global _default_enabled
+    previous = _default_enabled
+    _default_enabled = bool(enabled)
+    return previous
+
+
+def tracing_enabled_by_default():
+    return _default_enabled
+
+
+def all_buses():
+    """Every live TraceBus, in no particular order."""
+    return list(_buses)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One published event."""
+
+    t: float  # simulation time (seconds)
+    seq: int  # per-bus publication sequence number
+    kind: str  # dotted event type, e.g. "request.end"
+    fields: dict = field(default_factory=dict)
+
+    def flatten(self, bus=None):
+        """Envelope + payload as one flat dict (for JSONL export)."""
+        record = {"t": self.t, "seq": self.seq, "kind": self.kind}
+        if bus is not None:
+            record["bus"] = bus
+        for key, value in self.fields.items():
+            record[key if key not in RESERVED_KEYS else f"x_{key}"] = value
+        return record
+
+
+def _normalize_kinds(kinds):
+    """(exact kinds frozenset, prefix tuple) from a str or iterable.
+
+    A kind ending in ``*`` subscribes to the whole prefix, e.g.
+    ``"component.*"``.
+    """
+    if kinds is None:
+        return None, ()
+    if isinstance(kinds, str):
+        kinds = (kinds,)
+    exact, prefixes = set(), []
+    for kind in kinds:
+        if kind.endswith("*"):
+            prefixes.append(kind[:-1])
+        else:
+            exact.add(kind)
+    return frozenset(exact), tuple(prefixes)
+
+
+class _Subscription:
+    """One subscriber: callback plus its kind filter."""
+
+    __slots__ = ("callback", "exact", "prefixes")
+
+    def __init__(self, callback, kinds):
+        self.callback = callback
+        self.exact, self.prefixes = _normalize_kinds(kinds)
+
+    def matches(self, kind):
+        if self.exact is None:
+            return True
+        return kind in self.exact or any(
+            kind.startswith(prefix) for prefix in self.prefixes
+        )
+
+
+class TraceBus:
+    """Bounded publish/subscribe event log attached to one kernel."""
+
+    DEFAULT_CAPACITY = 65536
+    STICKY_CAPACITY = 8192
+
+    def __init__(self, kernel=None, capacity=DEFAULT_CAPACITY, enabled=None,
+                 label=None):
+        self.kernel = kernel
+        self.label = label
+        self.enabled = _default_enabled if enabled is None else bool(enabled)
+        self._buffer = deque(maxlen=capacity)
+        self._sticky = deque(maxlen=self.STICKY_CAPACITY)
+        self._subscriptions = []
+        self._seq = 0
+        #: Total events ever published (buffered or since evicted).
+        self.published = 0
+        _buses.add(self)
+        for scope in _capture_scopes:
+            scope.append(self)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, kind, /, **fields):
+        """Record one event; returns it, or None when the bus is disabled."""
+        if not self.enabled:
+            return None
+        event = TraceEvent(
+            t=self.kernel.now if self.kernel is not None else 0.0,
+            seq=self._seq,
+            kind=kind,
+            fields=fields,
+        )
+        self._seq += 1
+        self.published += 1
+        self._buffer.append(event)
+        if kind.startswith(STICKY_PREFIXES):
+            self._sticky.append(event)
+        for subscription in self._subscriptions:
+            if subscription.matches(kind):
+                subscription.callback(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Subscribing
+    # ------------------------------------------------------------------
+    def subscribe(self, callback, kinds=None):
+        """Call ``callback(event)`` on every matching publish.
+
+        ``kinds`` is a kind, an iterable of kinds, or None for everything;
+        a trailing ``*`` matches a prefix (``"rm.*"``).  Returns a token
+        for :meth:`unsubscribe`.
+        """
+        subscription = _Subscription(callback, kinds)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, token):
+        try:
+            self._subscriptions.remove(token)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self):
+        return self._buffer.maxlen
+
+    @property
+    def dropped(self):
+        """Events evicted from the ring buffer by newer ones."""
+        return self.published - len(self._buffer)
+
+    def __len__(self):
+        return len(self._buffer)
+
+    def events(self, kinds=None):
+        """Buffered events, oldest first, optionally filtered like subscribe.
+
+        Merges the main ring with the reserved sticky ring (recovery /
+        failover kinds survive request floods), deduplicated by sequence.
+        """
+        if not self._sticky:
+            ordered = list(self._buffer)
+        else:
+            merged = {event.seq: event for event in self._sticky}
+            merged.update((event.seq, event) for event in self._buffer)
+            ordered = [merged[seq] for seq in sorted(merged)]
+        if kinds is None:
+            return ordered
+        matcher = _Subscription(None, kinds)
+        return [e for e in ordered if matcher.matches(e.kind)]
+
+    def clear(self):
+        self._buffer.clear()
+        self._sticky.clear()
+
+    def __repr__(self):
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"<TraceBus {self.label or ''} {state} "
+            f"{len(self._buffer)}/{self.capacity} events>"
+        )

@@ -13,7 +13,7 @@ from repro.detection.simple import SimpleDetector
 from repro.ebid.descriptors import OPERATIONS, operation_url
 from repro.workload.markov import ACTION_TEMPLATES, WorkloadProfile
 from repro.workload.metrics import ActionRecord, OperationRecord, TawAccounting
-from repro.appserver.http import HttpRequest, HttpStatus
+from repro.appserver.http import HttpRequest, HttpResponse, HttpStatus
 
 
 class ParamSampler:
@@ -127,6 +127,13 @@ class EmulatedClient:
             issued_at=self.kernel.now,
             functional_group=group,
         )
+        trace = self.kernel.trace
+        trace.publish(
+            "request.start",
+            client=self.client_id,
+            operation=op_name,
+            url=request.url,
+        )
         response = yield from self._issue(request, record)
         record.completed_at = self.kernel.now
         record.response_time = record.completed_at - record.issued_at
@@ -137,12 +144,28 @@ class EmulatedClient:
         if failure is None and self.comparison is not None:
             failure = yield from self.comparison.check(request, response)
 
+        trace.publish(
+            "request.end",
+            client=self.client_id,
+            operation=op_name,
+            ok=failure is None,
+            duration=record.response_time,
+            failure=failure.value if failure is not None else None,
+            retries=record.retries,
+        )
         if failure is None:
             record.ok = True
             self._absorb_success(op_name, response, context)
         else:
             record.failure_kind = failure.value
             self._absorb_failure(response)
+            trace.publish(
+                "detector.report",
+                client=self.client_id,
+                failure=failure.value,
+                url=request.url,
+                reported=self.reporter is not None,
+            )
             if self.reporter is not None:
                 self.reporter(
                     FailureReport(
@@ -162,7 +185,17 @@ class EmulatedClient:
         while True:
             event = self.frontend.handle_request(request)
             patience = self.kernel.timeout(self.profile.request_timeout)
-            yield self.kernel.any_of([event, patience])
+            try:
+                yield self.kernel.any_of([event, patience])
+            except Exception as exc:  # noqa: BLE001 - a failed frontend
+                # event (e.g. the load balancer's forwarding process died)
+                # must surface as an observable failure, not kill the
+                # client process.
+                return HttpResponse(
+                    status=HttpStatus.INTERNAL_SERVER_ERROR,
+                    body=f"network error: {type(exc).__name__}: {exc}",
+                    network_error=True,
+                )
             if not event.triggered:
                 return None  # client gave up waiting
             response = event.value

@@ -9,6 +9,8 @@ requests that preceded the failure within their actions.
 
 from dataclasses import dataclass, field
 
+from repro.telemetry.metrics import MetricsRegistry
+
 
 @dataclass
 class OperationRecord:
@@ -43,20 +45,29 @@ class ActionRecord:
 class TawAccounting:
     """Aggregates operations/actions into the paper's metrics."""
 
-    def __init__(self):
+    def __init__(self, metrics=None):
+        #: All counts live in a telemetry registry (shareable with the rest
+        #: of a rig's instrumentation); the attribute API below is
+        #: unchanged — ``good_requests`` and friends read through to it.
+        self.registry = metrics if metrics is not None else MetricsRegistry()
+        self._good = self.registry.counter("taw.requests.good")
+        self._bad = self.registry.counter("taw.requests.failed")
+        self._good_actions = self.registry.counter("taw.actions.good")
+        self._bad_actions = self.registry.counter("taw.actions.failed")
+        self._failures_by_operation = self.registry.family(
+            "taw.failures.by_operation"
+        )
+        self._failures_by_kind = self.registry.family("taw.failures.by_kind")
+        self._response_time_hist = self.registry.histogram(
+            "taw.response_time"
+        )
         self.actions = []
-        self.good_requests = 0
-        self.failed_requests = 0
-        self.good_actions = 0
-        self.failed_actions = 0
         #: second → count of requests that (retro)counted good/bad there.
         self._good_series = {}
         self._bad_series = {}
         self.response_times = []  # (completed_at, seconds)
         #: Failed-request intervals per functional group, for Figure 2.
         self.failure_intervals = []  # (group, issued_at, completed_at)
-        self.failures_by_operation = {}
-        self.failures_by_kind = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -66,35 +77,56 @@ class TawAccounting:
         self.actions.append(action)
         committed = action.committed
         if committed:
-            self.good_actions += 1
+            self._good_actions.inc()
         else:
-            self.failed_actions += 1
+            self._bad_actions.inc()
         for op in action.operations:
             when = op.completed_at if op.completed_at is not None else op.issued_at
             bucket = int(when)
             if committed:
-                self.good_requests += 1
+                self._good.inc()
                 self._good_series[bucket] = self._good_series.get(bucket, 0) + 1
             else:
-                self.failed_requests += 1
+                self._bad.inc()
                 self._bad_series[bucket] = self._bad_series.get(bucket, 0) + 1
             if op.response_time is not None:
                 self.response_times.append((when, op.response_time))
+                self._response_time_hist.observe(op.response_time)
             if not op.ok:
                 self.failure_intervals.append(
                     (op.functional_group, op.issued_at, when)
                 )
-                self.failures_by_operation[op.operation] = (
-                    self.failures_by_operation.get(op.operation, 0) + 1
-                )
+                self._failures_by_operation.inc(op.operation)
                 if op.failure_kind:
-                    self.failures_by_kind[op.failure_kind] = (
-                        self.failures_by_kind.get(op.failure_kind, 0) + 1
-                    )
+                    self._failures_by_kind.inc(op.failure_kind)
 
     # ------------------------------------------------------------------
     # Series and summaries
     # ------------------------------------------------------------------
+    @property
+    def good_requests(self):
+        return int(self._good.value)
+
+    @property
+    def failed_requests(self):
+        return int(self._bad.value)
+
+    @property
+    def good_actions(self):
+        return int(self._good_actions.value)
+
+    @property
+    def failed_actions(self):
+        return int(self._bad_actions.value)
+
+    @property
+    def failures_by_operation(self):
+        return self._failures_by_operation.as_dict()
+
+    @property
+    def failures_by_kind(self):
+        return self._failures_by_kind.as_dict()
+
     @property
     def total_requests(self):
         return self.good_requests + self.failed_requests
@@ -127,6 +159,10 @@ class TawAccounting:
         if not self.response_times:
             return None
         return sum(rt for _t, rt in self.response_times) / len(self.response_times)
+
+    def response_time_quantiles(self):
+        """Streaming p50/p95/p99 from the registry's histogram sketch."""
+        return self._response_time_hist.percentiles()
 
     def response_times_over(self, threshold=8.0):
         """How many requests exceeded the 8 s abandonment threshold (§5.3)."""

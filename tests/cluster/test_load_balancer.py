@@ -1,10 +1,13 @@
 """Tests for the load balancer: affinity, failover, microfailover."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.appserver.http import HttpRequest, HttpStatus
-from repro.cluster import FailoverMode, build_cluster
+from repro.cluster import FailoverMode, LoadBalancer, build_cluster
 from repro.ebid.schema import DatasetConfig
+from repro.sim import Kernel
 
 
 @pytest.fixture
@@ -120,6 +123,96 @@ def test_nodes_share_one_database(cluster):
     # Any node sees the row (single shared persistence tier).
     view = issue(cluster, "/ebid/ViewItem", {"item_id": item_id})
     assert view.status == HttpStatus.OK
+
+
+class FailingServer:
+    """A backend whose response event fails instead of succeeding."""
+
+    def __init__(self, kernel, exc):
+        self.kernel = kernel
+        self.exc = exc
+
+    def handle_request(self, request):
+        event = self.kernel.event()
+
+        def die():
+            yield self.kernel.timeout(0.01)
+            event.fail(self.exc)
+
+        self.kernel.process(die())
+        return event
+
+
+def test_forward_failure_fails_client_visible_event():
+    """A dying backend must fail `done`, not leave the client hanging."""
+    kernel = Kernel()
+    node = SimpleNamespace(
+        name="n0", server=FailingServer(kernel, RuntimeError("backend died"))
+    )
+    lb = LoadBalancer(kernel, [node])
+    request = HttpRequest(url="/ebid/ViewItem", operation="ViewItem")
+
+    done = lb.handle_request(request)
+    with pytest.raises(RuntimeError, match="backend died"):
+        kernel.run_until_triggered(done)
+    assert lb.forward_failures == 1
+    assert not kernel.unhandled_failures
+
+
+def test_forward_failure_reaches_waiting_process():
+    """A process yielding the routed event sees the failure raised into it."""
+    kernel = Kernel()
+    node = SimpleNamespace(
+        name="n0", server=FailingServer(kernel, RuntimeError("backend died"))
+    )
+    lb = LoadBalancer(kernel, [node])
+    outcomes = []
+
+    def client():
+        try:
+            yield lb.handle_request(HttpRequest(url="/x", operation="x"))
+        except RuntimeError as exc:
+            outcomes.append(str(exc))
+
+    kernel.process(client())
+    kernel.run(until=1.0)
+    assert outcomes == ["backend died"]
+
+
+def ring_nodes(n=3):
+    return [SimpleNamespace(name=f"n{i}") for i in range(n)]
+
+
+def test_round_robin_spreads_evenly():
+    lb = LoadBalancer(Kernel(), ring_nodes())
+    picks = [lb._next_good_node().name for _ in range(30)]
+    assert all(picks.count(name) == 10 for name in ("n0", "n1", "n2"))
+
+
+def test_round_robin_spread_during_failover():
+    nodes = ring_nodes()
+    lb = LoadBalancer(Kernel(), nodes)
+    lb.begin_failover(nodes[1], FailoverMode.FULL)
+    picks = [lb._next_good_node().name for _ in range(10)]
+    assert picks.count("n0") == picks.count("n2") == 5
+    assert "n1" not in picks
+
+
+def test_round_robin_rotation_survives_failover_churn():
+    """The cursor walks a stable ring: a failover window must not reseat
+    the rotation (the old `% len(candidates)` restarted it whenever the
+    candidate list changed length, skewing the spread)."""
+    nodes = ring_nodes()
+    lb = LoadBalancer(Kernel(), nodes)
+    assert [lb._next_good_node().name for _ in range(4)] == [
+        "n0", "n1", "n2", "n0",
+    ]
+    lb.begin_failover(nodes[1], FailoverMode.FULL)
+    # Rotation continues from where it left off, skipping n1 in place.
+    assert [lb._next_good_node().name for _ in range(3)] == ["n2", "n0", "n2"]
+    lb.end_failover(nodes[1])
+    # Rejoining picks the rotation back up rather than restarting it.
+    assert [lb._next_good_node().name for _ in range(3)] == ["n0", "n1", "n2"]
 
 
 def test_cluster_ids_never_collide(cluster):

@@ -178,6 +178,68 @@ def test_recurring_failures_notify_human():
     assert len(rm.actions) <= 4  # stopped acting once the human took over
 
 
+def exploding_microreboot(names, level="ejb"):
+    raise RuntimeError("crash during recovery")
+    yield  # generator shape: the RM drives this with `yield from`
+
+
+def test_failed_action_is_recorded_and_rm_survives():
+    """An action that raises must not wedge the RM: the action is recorded
+    (with its error), incident state resets, and later incidents are
+    handled normally."""
+    system = build_toy_system()
+    rm = make_rm(system)
+    original = system.coordinator.microreboot
+    system.coordinator.microreboot = exploding_microreboot
+    for _ in range(3):
+        report(rm, system, "/toy/greet")
+    system.kernel.run(until=5.0)
+
+    assert len(rm.actions) == 1
+    failed = rm.actions[0]
+    assert failed.level == "ejb"
+    assert not failed.ok
+    assert "crash during recovery" in failed.error
+    assert failed.finished_at is not None
+    assert not rm.recovering
+    assert rm.scores == {}
+
+    # A fresh incident past the escalation window, with the coordinator
+    # working again, recovers normally: the RM process is still alive.
+    system.coordinator.microreboot = original
+
+    def driver():
+        yield system.kernel.timeout(100.0)
+        for _ in range(3):
+            report(rm, system, "/toy/greet")
+
+    system.kernel.process(driver())
+    system.kernel.run(until=200.0)
+    assert [action.ok for action in rm.actions] == [False, True]
+    assert rm.actions[1].level == "ejb"
+    assert system.coordinator.microreboot_count == 1
+
+
+def test_failed_ejb_action_escalates_within_incident():
+    """After a failed EJB µRB the ladder coarsens instead of replaying the
+    same stale escalation state forever."""
+    system = build_toy_system()
+    rm = make_rm(system)
+    system.coordinator.microreboot = exploding_microreboot
+
+    def driver():
+        for _ in range(3):
+            report(rm, system, "/toy/greet")
+        yield system.kernel.timeout(10.0)  # within the escalation window
+        for _ in range(3):
+            report(rm, system, "/toy/greet")
+
+    system.kernel.process(driver())
+    system.kernel.run(until=40.0)
+    assert [action.level for action in rm.actions] == ["ejb", "war"]
+    assert all(not action.ok for action in rm.actions)
+
+
 def test_listeners_observe_actions():
     system = build_toy_system()
     rm = make_rm(system)

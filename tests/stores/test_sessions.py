@@ -58,6 +58,22 @@ def test_validate_rejects_invalid_user_id():
         data.validate()
 
 
+def test_validate_rejects_boolean_user_id():
+    """bool is an int subclass: `True` must not pass as user id 1."""
+    data = make_session()
+    data.user_id = True
+    data.attributes["user_id"] = True
+    with pytest.raises(SessionCorruptionError, match="invalid"):
+        data.validate()
+
+
+def test_validate_rejects_boolean_bound_user():
+    data = make_session()
+    data.attributes["user_id"] = True  # corrupted binding, id stays 42
+    with pytest.raises(SessionCorruptionError, match="mismatch"):
+        data.validate()
+
+
 def test_validate_rejects_identity_mismatch():
     """The *wrong* corruption: valid-looking but swapped identity."""
     data = make_session()

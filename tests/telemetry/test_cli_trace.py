@@ -1,0 +1,66 @@
+"""Tests for the CLI surface of tracing: run --trace and the trace command."""
+
+import json
+
+from repro.cli import build_parser, main
+from repro.telemetry import TraceBus, write_timeline
+
+
+def make_timeline(path):
+    bus = TraceBus(enabled=True, label="run")
+    bus.publish("request.end", operation="ViewItem", ok=True, duration=0.3)
+    bus.publish("rm.decision", level="ejb", target=("SB_ViewItem",))
+    bus.publish("rm.action.end", level="ejb", ok=True, duration=0.6)
+    write_timeline(path, [bus])
+    return path
+
+
+def test_trace_command_summarizes_timeline(tmp_path, capsys):
+    path = make_timeline(tmp_path / "timeline.jsonl")
+    assert main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "3 events from 1 bus(es)" in out
+    assert "events by kind:" in out
+    assert "recovery timeline (2 events)" in out
+    assert "slowest requests" in out
+
+
+def test_trace_command_slowest_flag(tmp_path, capsys):
+    bus = TraceBus(enabled=True)
+    for i in range(6):
+        bus.publish("request.end", operation=f"Op{i}", ok=True,
+                    duration=float(i))
+    path = tmp_path / "timeline.jsonl"
+    write_timeline(path, [bus])
+    main(["trace", str(path), "--slowest", "2"])
+    out = capsys.readouterr().out
+    assert "Op5" in out and "Op4" in out
+    assert "Op3" not in out
+
+
+def test_trace_command_missing_file_is_a_clean_error(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+    err = capsys.readouterr().err
+    assert "no such trace file" in err
+
+
+def test_trace_command_empty_file(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert main(["trace", str(path)]) == 0
+    assert "empty timeline" in capsys.readouterr().out
+
+
+def test_run_parser_accepts_trace_flag(tmp_path):
+    args = build_parser().parse_args(
+        ["run", "figure1", "--quick", "--trace", str(tmp_path / "t.jsonl")]
+    )
+    assert args.trace == tmp_path / "t.jsonl"
+    assert build_parser().parse_args(["run", "figure1"]).trace is None
+
+
+def test_timeline_is_valid_jsonl(tmp_path):
+    path = make_timeline(tmp_path / "timeline.jsonl")
+    with open(path, encoding="utf-8") as fh:
+        records = [json.loads(line) for line in fh]
+    assert all({"t", "seq", "kind", "bus"} <= set(r) for r in records)

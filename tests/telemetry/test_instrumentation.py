@@ -1,0 +1,104 @@
+"""Integration tests: the built-in instrumentation publishes real events."""
+
+from repro.cluster import FailoverMode, build_cluster
+from repro.core import FailureKind, FailureReport, RecoveryManager
+from repro.ebid.schema import DatasetConfig
+from repro.experiments.common import SingleNodeRig
+from repro.telemetry import set_default_tracing
+from tests.cluster.test_load_balancer import issue, login, served_by
+from tests.toyapp import URL_PATH_MAP, build_toy_system
+from tests.toyapp import issue as toy_issue
+
+
+def kinds(bus):
+    return [event.kind for event in bus.events()]
+
+
+def test_server_publishes_request_lifecycle():
+    system = build_toy_system()
+    system.kernel.trace.enabled = True
+    toy_issue(system, "/toy/greet", {"who": "x"})
+    seen = kinds(system.kernel.trace)
+    assert "server.request.start" in seen
+    assert "server.request.end" in seen
+
+
+def test_microreboot_publishes_begin_and_end():
+    system = build_toy_system()
+    system.kernel.trace.enabled = True
+    system.kernel.run_until_triggered(
+        system.kernel.process(system.coordinator.microreboot(["Greeter"]))
+    )
+    begin = system.kernel.trace.events(kinds="component.microreboot.begin")
+    end = system.kernel.trace.events(kinds="component.microreboot.end")
+    assert len(begin) == len(end) == 1
+    assert begin[0].fields["components"] == ("Greeter",)
+    assert begin[0].fields["level"] == "ejb"
+    assert end[0].fields["duration"] > 0
+
+
+def test_recovery_manager_publishes_decision_and_action():
+    system = build_toy_system()
+    system.kernel.trace.enabled = True
+    rm = RecoveryManager(
+        system.kernel, system.coordinator, URL_PATH_MAP, score_threshold=3
+    )
+    rm.start()
+    for _ in range(3):
+        rm.report(
+            FailureReport(
+                time=system.kernel.now,
+                url="/toy/greet",
+                operation="greet",
+                kind=FailureKind.HTTP_ERROR,
+            )
+        )
+    system.kernel.run(until=5.0)
+    trace = system.kernel.trace
+    assert len(trace.events(kinds="rm.report")) == 3
+    decisions = trace.events(kinds="rm.decision")
+    assert [e.fields["level"] for e in decisions] == ["ejb"]
+    ends = trace.events(kinds="rm.action.end")
+    assert len(ends) == 1
+    assert ends[0].fields["ok"] is True
+
+
+def test_load_balancer_publishes_failover_events():
+    cluster = build_cluster(3, dataset=DatasetConfig.tiny(), seed=2)
+    cluster.kernel.trace.enabled = True
+    cookie = login(cluster, 1)
+    bad = cluster.find_node(served_by(cluster, cookie)[0])
+
+    cluster.load_balancer.begin_failover(bad, FailoverMode.FULL)
+    issue(cluster, "/ebid/AboutMe", cookie=cookie)
+    cluster.load_balancer.end_failover(bad)
+    cluster.load_balancer.end_failover(bad)  # idempotent: no second event
+
+    trace = cluster.kernel.trace
+    begins = trace.events(kinds="lb.failover.begin")
+    redirects = trace.events(kinds="lb.failover")
+    ends = trace.events(kinds="lb.failover.end")
+    assert len(begins) == len(ends) == 1
+    assert begins[0].fields["node"] == bad.name
+    assert len(redirects) == 1
+    assert redirects[0].fields["from_node"] == bad.name
+    assert redirects[0].fields["to_node"] != bad.name
+
+
+def test_traced_rig_emits_client_events_and_untraced_rig_none():
+    previous = set_default_tracing(True)
+    try:
+        rig = SingleNodeRig(seed=0, n_clients=5)
+    finally:
+        set_default_tracing(previous)
+    rig.start()
+    rig.run_for(30.0)
+    seen = set(kinds(rig.kernel.trace))
+    assert "request.start" in seen
+    assert "request.end" in seen
+    assert rig.kernel.trace.published > 0
+
+    quiet = SingleNodeRig(seed=0, n_clients=5)
+    quiet.start()
+    quiet.run_for(30.0)
+    assert quiet.kernel.trace.published == 0

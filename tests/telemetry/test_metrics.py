@@ -1,0 +1,162 @@
+"""Tests for counters, gauges, families, and the quantile sketch."""
+
+import random
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    CounterFamily,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_increments():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+
+
+def test_counter_rejects_decrease():
+    with pytest.raises(ValueError):
+        Counter("c").inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("g")
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(3)
+    assert gauge.value == 12
+
+
+def test_family_counts_per_label():
+    family = CounterFamily("f")
+    family.inc("a")
+    family.inc("a")
+    family.inc("b", 3)
+    assert family.get("a") == 2
+    assert family.get("missing") == 0.0
+    assert family.total == 5
+    assert len(family) == 2
+
+
+def test_family_as_dict_coerces_integral_counts():
+    family = CounterFamily("f")
+    family.inc("a")
+    family.inc("b", 0.5)
+    snapshot = family.as_dict()
+    assert snapshot["a"] == 1 and isinstance(snapshot["a"], int)
+    assert snapshot["b"] == 0.5
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+
+def exact_quantile(values, q):
+    """The same rank convention the sketch uses: rank = q * (n - 1)."""
+    ordered = sorted(values)
+    return ordered[round(q * (len(ordered) - 1))]
+
+
+@pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+def test_quantiles_within_relative_accuracy_uniform(q):
+    accuracy = 0.01
+    histogram = Histogram(relative_accuracy=accuracy)
+    values = [i / 10 for i in range(1, 10_001)]  # 0.1 .. 1000.0
+    for value in values:
+        histogram.observe(value)
+    estimate = histogram.quantile(q)
+    truth = exact_quantile(values, q)
+    # Bucket midpoints guarantee alpha relative error; allow the rank
+    # granularity of the discrete test distribution on top.
+    assert abs(estimate - truth) / truth <= 2 * accuracy
+
+
+@pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+def test_quantiles_within_relative_accuracy_lognormal(q):
+    accuracy = 0.02
+    histogram = Histogram(relative_accuracy=accuracy)
+    rng = random.Random(7)
+    values = [rng.lognormvariate(0.0, 1.5) for _ in range(20_000)]
+    for value in values:
+        histogram.observe(value)
+    estimate = histogram.quantile(q)
+    truth = exact_quantile(values, q)
+    assert abs(estimate - truth) / truth <= 2 * accuracy
+
+
+def test_histogram_memory_stays_bounded():
+    histogram = Histogram(relative_accuracy=0.01)
+    for i in range(1, 100_001):
+        histogram.observe(i / 100)  # 5 decades of magnitude
+    assert histogram.count == 100_000
+    # log-bucketed: ~log(range)/log(gamma) buckets, never one per sample.
+    assert histogram.bucket_count < 1200
+
+
+def test_histogram_zero_and_negative_values():
+    histogram = Histogram()
+    for value in (0.0, -1.0, 0.0, 5.0):
+        histogram.observe(value)
+    assert histogram.quantile(0.0) == 0.0
+    assert histogram.quantile(0.5) == 0.0  # three of four in the zero bucket
+    assert histogram.min == -1.0
+    assert histogram.max == 5.0
+
+
+def test_histogram_summary_fields():
+    histogram = Histogram()
+    assert histogram.quantile(0.5) is None
+    assert histogram.mean is None
+    histogram.observe(2.0)
+    histogram.observe(4.0)
+    assert histogram.mean == 3.0
+    assert histogram.count == 2
+    assert set(histogram.percentiles()) == {"p50", "p95", "p99"}
+
+
+def test_histogram_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        Histogram(relative_accuracy=1.5)
+    with pytest.raises(ValueError):
+        Histogram().quantile(1.2)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def test_registry_get_or_create_returns_same_object():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("h") is registry.histogram("h")
+    assert "a" in registry
+    assert registry.get("missing") is None
+
+
+def test_registry_rejects_type_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("a")
+    with pytest.raises(TypeError):
+        registry.gauge("a")
+
+
+def test_registry_snapshot_is_plain_data():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2)
+    registry.gauge("g").set(7)
+    registry.family("f").inc("x")
+    histogram = registry.histogram("h")
+    histogram.observe(1.0)
+    snapshot = registry.snapshot()
+    assert snapshot["c"] == 2
+    assert snapshot["g"] == 7
+    assert snapshot["f"] == {"x": 1}
+    assert snapshot["h"]["count"] == 1
+    assert "p99" in snapshot["h"]
+    assert registry.names() == ["c", "f", "g", "h"]

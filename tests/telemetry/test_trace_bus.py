@@ -1,0 +1,167 @@
+"""Tests for the trace bus: ordering, ring bounds, filtering, enablement."""
+
+from repro.sim import Kernel
+from repro.telemetry import (
+    TraceBus,
+    set_default_tracing,
+    tracing_enabled_by_default,
+)
+
+
+def make_bus(**kwargs):
+    kwargs.setdefault("enabled", True)
+    return TraceBus(**kwargs)
+
+
+def test_events_preserve_publish_order_and_sequence():
+    bus = make_bus()
+    for i in range(5):
+        bus.publish("tick", i=i)
+    events = bus.events()
+    assert [e.fields["i"] for e in events] == [0, 1, 2, 3, 4]
+    assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+
+
+def test_events_stamped_with_kernel_time():
+    kernel = Kernel()
+    bus = TraceBus(kernel, enabled=True)
+
+    def proc():
+        bus.publish("before")
+        yield kernel.timeout(2.5)
+        bus.publish("after")
+
+    kernel.process(proc())
+    kernel.run()
+    before, after = bus.events()
+    assert before.t == 0.0
+    assert after.t == 2.5
+
+
+def test_ring_buffer_keeps_only_newest_events():
+    bus = make_bus(capacity=4)
+    for i in range(10):
+        bus.publish("tick", i=i)
+    assert len(bus) == 4
+    assert bus.capacity == 4
+    assert bus.published == 10
+    assert bus.dropped == 6
+    assert [e.fields["i"] for e in bus.events()] == [6, 7, 8, 9]
+
+
+def test_recovery_events_survive_request_floods():
+    """Sticky kinds keep the recovery story when per-request events have
+    long since evicted everything else from the main ring."""
+    bus = make_bus(capacity=8)
+    bus.publish("rm.decision", level="ejb")
+    bus.publish("component.microreboot.end", duration=0.5)
+    bus.publish("lb.failover.begin", node="n1")
+    for i in range(100):
+        bus.publish("request.end", i=i)
+    kinds_seen = [e.kind for e in bus.events()]
+    assert kinds_seen[:3] == [
+        "rm.decision", "component.microreboot.end", "lb.failover.begin",
+    ]
+    assert kinds_seen[3:] == ["request.end"] * 8
+    # Still time/sequence ordered, and no duplicates when a sticky event
+    # also remains in the main ring.
+    bus2 = make_bus(capacity=8)
+    bus2.publish("request.start")
+    bus2.publish("rm.decision")
+    assert [e.seq for e in bus2.events()] == [0, 1]
+
+
+def test_disabled_bus_records_nothing():
+    bus = TraceBus(enabled=False)
+    assert bus.publish("tick") is None
+    assert len(bus) == 0
+    assert bus.published == 0
+    assert bus.dropped == 0
+
+
+def test_kernel_bus_disabled_by_default():
+    assert not tracing_enabled_by_default()
+    kernel = Kernel()
+    assert not kernel.trace.enabled
+    kernel.trace.publish("tick")
+    assert kernel.trace.published == 0
+
+
+def test_set_default_tracing_applies_to_new_buses():
+    previous = set_default_tracing(True)
+    try:
+        assert previous is False
+        assert TraceBus().enabled
+        # An explicit enabled= always wins over the default.
+        assert not TraceBus(enabled=False).enabled
+    finally:
+        set_default_tracing(previous)
+    assert not TraceBus().enabled
+
+
+def test_subscribe_exact_kind():
+    bus = make_bus()
+    seen = []
+    bus.subscribe(lambda e: seen.append(e.kind), kinds="request.end")
+    bus.publish("request.start")
+    bus.publish("request.end")
+    bus.publish("rm.decision")
+    assert seen == ["request.end"]
+
+
+def test_subscribe_prefix_wildcard():
+    bus = make_bus()
+    seen = []
+    bus.subscribe(lambda e: seen.append(e.kind), kinds="rm.*")
+    for kind in ("rm.report", "rm.decision", "request.end", "rm.action.end"):
+        bus.publish(kind)
+    assert seen == ["rm.report", "rm.decision", "rm.action.end"]
+
+
+def test_subscribe_without_kinds_sees_everything():
+    bus = make_bus()
+    seen = []
+    bus.subscribe(seen.append)
+    bus.publish("a")
+    bus.publish("b")
+    assert [e.kind for e in seen] == ["a", "b"]
+
+
+def test_unsubscribe_stops_delivery():
+    bus = make_bus()
+    seen = []
+    token = bus.subscribe(seen.append)
+    bus.publish("a")
+    bus.unsubscribe(token)
+    bus.publish("b")
+    assert [e.kind for e in seen] == ["a"]
+
+
+def test_events_filtered_like_subscriptions():
+    bus = make_bus()
+    for kind in ("lb.failover.begin", "lb.failover", "lb.failover.end", "x"):
+        bus.publish(kind)
+    assert [e.kind for e in bus.events(kinds="lb.failover.*")] == [
+        "lb.failover.begin",
+        "lb.failover.end",
+    ]
+    assert len(bus.events(kinds=("lb.failover", "x"))) == 2
+
+
+def test_flatten_remaps_reserved_payload_keys():
+    bus = make_bus()
+    event = bus.publish("tick", t=99, node="n1")
+    record = event.flatten(bus="b0")
+    assert record["bus"] == "b0"
+    assert record["kind"] == "tick"
+    assert record["node"] == "n1"
+    assert record["x_t"] == 99  # payload "t" must not clobber the envelope
+    assert record["t"] == 0.0
+
+
+def test_clear_empties_buffer_but_keeps_totals():
+    bus = make_bus()
+    bus.publish("tick")
+    bus.clear()
+    assert len(bus) == 0
+    assert bus.published == 1
