@@ -36,6 +36,11 @@ class InvocationContext:
         nontx_write_count: auto-committed (non-transactional) persistent
             writes performed by the current invocation frame; the container
             uses it for its post-invocation demarcation check.
+        trace: the request's :class:`~repro.telemetry.spans.TraceContext`
+            (None when spans are disabled); containers bracket invocations
+            with spans against it.
+        current_span: the innermost open span, i.e. the parent for the next
+            component call's span.
     """
 
     def __init__(self, server, request=None):
@@ -45,6 +50,8 @@ class InvocationContext:
         self.call_path = []
         self.shepherd_process = None
         self.nontx_write_count = 0
+        self.trace = getattr(request, "trace", None) if request is not None else None
+        self.current_span = None
 
     # ------------------------------------------------------------------
     # Calling other components

@@ -140,7 +140,35 @@ class Container:
     # Invocation (the interceptor chain)
     # ------------------------------------------------------------------
     def invoke(self, ctx, method, args, kwargs):
-        """Generator: dispatch one call through the interceptor chain."""
+        """Generator: dispatch one call through the interceptor chain.
+
+        When the request carries a trace, the whole dispatch — including
+        the state checks and fault hooks that run *before* an instance is
+        picked — is bracketed by a span, so a component whose injected
+        fault fires pre-dispatch still shows up on the failed path (the
+        property Pinpoint-style localization depends on).
+        """
+        trace = ctx.trace
+        if trace is None:
+            result = yield from self._invoke(ctx, method, args, kwargs)
+            return result
+        parent = ctx.current_span
+        span = trace.start_span(self.name, parent=parent)
+        if span is not None:
+            ctx.current_span = span
+        try:
+            result = yield from self._invoke(ctx, method, args, kwargs)
+        except BaseException as exc:
+            if span is not None:
+                trace.finish_span(span, outcome=type(exc).__name__)
+            ctx.current_span = parent
+            raise
+        if span is not None:
+            trace.finish_span(span, outcome=None)
+        ctx.current_span = parent
+        return result
+
+    def _invoke(self, ctx, method, args, kwargs):
         self.server.assert_running()
         if self.state is ContainerState.MICROREBOOTING:
             raise ComponentUnavailableError(

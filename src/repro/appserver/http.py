@@ -35,6 +35,9 @@ class HttpRequest:
         idempotent: whether the operation can be safely re-issued; drives
             the transparent call-retry machinery of §6.2.
         client_id: issuing emulated client (for metrics attribution).
+        trace: the :class:`~repro.telemetry.spans.TraceContext` attached at
+            admission (LB or server), or None when spans are disabled.  The
+            issuing client finishes it with the detector verdict.
     """
 
     url: str
@@ -44,6 +47,7 @@ class HttpRequest:
     idempotent: bool = True
     client_id: int = 0
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    trace: object = None
 
 
 @dataclass

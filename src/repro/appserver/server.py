@@ -109,6 +109,10 @@ class ApplicationServer:
         #: admission fails with the given exception message.
         self.accept_fault = None
 
+        #: Span layer (wired by the rig): admitted requests get a
+        #: TraceContext attached here, tagged with this server's name.
+        self.span_collector = None
+
         # Statistics.
         self.requests_accepted = 0
         self.requests_completed = 0
@@ -227,6 +231,8 @@ class ApplicationServer:
         if self.accept_fault is not None:
             return done.succeed(network_error_response(self.accept_fault))
         self.requests_accepted += 1
+        if self.span_collector is not None:
+            self.span_collector.attach(request, node=self.name)
         self.kernel.trace.publish(
             "server.request.start",
             server=self.name,

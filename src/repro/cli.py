@@ -8,13 +8,16 @@ Usage::
     python -m repro run all --out-dir results/
     python -m repro run figure1 --quick --trace figure1.jsonl
     python -m repro trace figure1.jsonl
+    python -m repro paths figure1.jsonl
 
 Each experiment prints its rendered table (and ASCII figures, where the
 paper has a figure) to stdout; ``--out-dir`` additionally writes one text
-file per experiment.  ``--trace`` enables the telemetry layer for the run
-and writes every kernel's event timeline to one JSONL file, which the
-``trace`` subcommand summarizes (recovery timeline, failover windows,
-slowest requests).
+file per experiment.  ``--trace`` enables the telemetry layer (including
+the span layer) for the run and writes every kernel's event timeline to
+one JSONL file.  The ``trace`` subcommand summarizes it (recovery
+timeline, failover windows, slowest requests); the ``paths`` subcommand
+renders the causal view (observed call trees, dependency graph, anomaly
+ranking, recovery-decision audit).
 """
 
 import argparse
@@ -24,7 +27,13 @@ import time
 from contextlib import nullcontext
 from pathlib import Path
 
-from repro.telemetry import capture_to_jsonl, read_timeline, summarize_timeline
+from repro.diagnosis.report import summarize_paths
+from repro.telemetry import (
+    TimelineError,
+    capture_to_jsonl,
+    read_timeline,
+    summarize_timeline,
+)
 
 from repro.experiments import (
     availability,
@@ -34,6 +43,7 @@ from repro.experiments import (
     figure4,
     figure5,
     figure6,
+    path_diagnosis,
     table1,
     table2,
     table3,
@@ -56,6 +66,7 @@ EXPERIMENTS = {
     "figure5": (figure5, "Relaxing failure detection"),
     "figure6": (figure6, "Microrejuvenation"),
     "availability": (availability, "Six-nines recovery allowances"),
+    "pathdiag": (path_diagnosis, "Static-map vs path-analysis diagnosis"),
 }
 
 
@@ -89,7 +100,40 @@ def build_parser():
     trace.add_argument("file", type=Path)
     trace.add_argument("--slowest", type=int, default=5,
                        help="how many slowest requests to show")
+
+    paths = sub.add_parser(
+        "paths",
+        help="render observed call trees, dependency graph and anomaly "
+             "ranking from a JSONL timeline",
+    )
+    paths.add_argument("file", type=Path)
+    paths.add_argument("--limit", type=int, default=20,
+                       help="how many URLs/edges to show per section")
     return parser
+
+
+def _load_timeline(path):
+    """Read a JSONL timeline for a CLI subcommand.
+
+    Missing, unreadable, corrupt, or empty files are reported as one-line
+    errors on stderr (exit code 2), never as tracebacks.
+    """
+    if not path.exists():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return None
+    try:
+        records = read_timeline(path)
+    except TimelineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc.strerror}", file=sys.stderr)
+        return None
+    if not records:
+        print(f"error: {path} is an empty timeline (0 events)",
+              file=sys.stderr)
+        return None
+    return records
 
 
 def run_experiment(name, seed=0, full=False, quick=False):
@@ -117,10 +161,17 @@ def main(argv=None):
         return 0
 
     if args.command == "trace":
-        if not args.file.exists():
-            print(f"error: no such trace file: {args.file}", file=sys.stderr)
+        records = _load_timeline(args.file)
+        if records is None:
             return 2
-        print(summarize_timeline(read_timeline(args.file), slowest=args.slowest))
+        print(summarize_timeline(records, slowest=args.slowest))
+        return 0
+
+    if args.command == "paths":
+        records = _load_timeline(args.file)
+        if records is None:
+            return 2
+        print(summarize_paths(records, limit=args.limit))
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

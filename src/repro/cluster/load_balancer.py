@@ -39,6 +39,9 @@ class LoadBalancer:
         #: node -> (FailoverMode, components being recovered)
         self._recovering = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Span layer (wired by the rig): when set, traces are attached at
+        #: the balancer, so the path records which node served the request.
+        self.span_collector = None
         self._routed = self.metrics.counter("lb.requests.routed")
         self._failed_over = self.metrics.counter("lb.requests.failed_over")
         self._forward_failures = self.metrics.counter("lb.forward.failures")
@@ -83,6 +86,8 @@ class LoadBalancer:
     def handle_request(self, request):
         """Route one request; returns an event (same contract as a server)."""
         self._routed.inc()
+        if self.span_collector is not None:
+            self.span_collector.attach(request)
         node = self._route(request)
         done = self.kernel.event()
         self.kernel.process(

@@ -14,11 +14,19 @@ Diagnosis is deliberately "simplistic ... often yields false positives"
 diagnosis.  One refinement mirrors the rejuvenation service: reports whose
 failure kind is resource exhaustion are diagnosed by heap attribution (the
 biggest leaker gets microrebooted) rather than by call-path scores.
+
+A second, opt-in diagnosis mode (``diagnosis="path-analysis"``) replaces
+the static map with the live Pinpoint-style anomaly ranking of a
+:class:`~repro.diagnosis.PathAnalyzer` fed by the span layer: µRB targets
+are picked by observed failed-vs-successful path membership, falling back
+to the static map while too few paths have been observed.  The static mode
+stays the default so the paper's Table 1–4 experiments reproduce unchanged.
 """
 
 import enum
 from dataclasses import dataclass
 
+from repro.diagnosis.path_analysis import PathAnalyzer
 from repro.sim.resources import Queue
 from repro.telemetry.metrics import MetricsRegistry
 
@@ -87,9 +95,13 @@ class RecoveryManager:
         score_window=25.0,
         kind_weights=None,
         metrics=None,
+        diagnosis="static-map",
+        path_analyzer=None,
     ):
         if policy not in ("recursive", "process-restart"):
             raise ValueError(f"unknown recovery policy {policy!r}")
+        if diagnosis not in ("static-map", "path-analysis"):
+            raise ValueError(f"unknown diagnosis mode {diagnosis!r}")
         self.kernel = kernel
         self.coordinator = coordinator
         self.url_path_map = dict(url_path_map)
@@ -135,6 +147,17 @@ class RecoveryManager:
         self._reports_stale = self.metrics.counter("rm.reports.stale")
         self._actions_by_level = self.metrics.family("rm.actions.by_level")
         self._action_errors = self.metrics.counter("rm.actions.errors")
+        self._diagnosis_by_mode = self.metrics.family("rm.diagnosis.by_mode")
+
+        #: "static-map" (the paper's §4 diagnosis) or "path-analysis"
+        #: (Pinpoint-style ranking fed by the span layer).
+        self.diagnosis = diagnosis
+        if diagnosis == "path-analysis" and path_analyzer is None:
+            path_analyzer = PathAnalyzer(kernel=kernel)
+        self.path_analyzer = path_analyzer
+        #: Audit log of every EJB-level target choice: which mode produced
+        #: it and what the analyzer saw at that moment.
+        self.diagnosis_log = []
 
         self.inbox = Queue(kernel)
         self.scores = {}
@@ -218,6 +241,56 @@ class RecoveryManager:
         candidates.sort(key=lambda entry: (-entry[0], -entry[1], entry[2]))
         return candidates[0][2]
 
+    def _path_candidate(self, exclude):
+        """Best untried target from the live anomaly ranking, or None.
+
+        Returns None (deferring to the static map) while the analyzer has
+        not yet observed enough paths — and enough *failed* paths — for
+        the chi-square statistic to mean anything, or when everything it
+        implicates has already been tried this incident.
+        """
+        analyzer = self.path_analyzer
+        if analyzer is None or not analyzer.ready():
+            return None
+        war = self.server.web_component_name
+        for name, _score in analyzer.rank():
+            if name == war or name in exclude:
+                continue
+            if name not in self.server.containers:
+                continue
+            return name
+        return None
+
+    def _candidate(self, exclude, record=False):
+        """Best untried EJB µRB target under the configured diagnosis mode."""
+        mode, candidate = "static-map", None
+        if self.diagnosis == "path-analysis":
+            candidate = self._path_candidate(exclude)
+            mode = "path-analysis" if candidate is not None else "static-fallback"
+        if candidate is None:
+            candidate = self._top_candidate(exclude)
+        if record:
+            self._record_diagnosis(mode, candidate)
+        return candidate
+
+    def _record_diagnosis(self, mode, candidate):
+        """Append to the audit log and publish an ``rm.diagnosis`` event."""
+        entry = {"time": self.kernel.now, "mode": mode, "candidate": candidate}
+        if self.path_analyzer is not None:
+            entry.update(self.path_analyzer.explain(limit=3))
+        self.diagnosis_log.append(entry)
+        self._diagnosis_by_mode.inc(mode)
+        self.kernel.trace.publish(
+            "rm.diagnosis",
+            mode=mode,
+            candidate=candidate,
+            paths=entry.get("paths"),
+            failed=entry.get("failed"),
+            ranking=tuple(
+                f"{name}:{score}" for name, score in entry.get("ranking") or ()
+            ),
+        )
+
     def _biggest_leaker(self):
         """Memory-attribution diagnosis for resource-exhaustion reports."""
         for owner in self.server.heap.owners_by_leak():
@@ -283,7 +356,7 @@ class RecoveryManager:
             self._last_level_index <= 0
             and self._ejb_attempts_this_incident < self.max_ejb_attempts
             and report.kind is not FailureKind.RESOURCE_EXHAUSTION
-            and self._top_candidate(self._tried_this_incident) is not None
+            and self._candidate(self._tried_this_incident) is not None
         ):
             return 0
         return min(self._last_level_index + 1, len(LEVELS) - 1)
@@ -304,7 +377,9 @@ class RecoveryManager:
                 if candidate in self._tried_this_incident:
                     candidate = None
             else:
-                candidate = self._top_candidate(self._tried_this_incident)
+                candidate = self._candidate(
+                    self._tried_this_incident, record=True
+                )
             if candidate is None:
                 level_index += 1
                 level = LEVELS[level_index]
@@ -356,6 +431,10 @@ class RecoveryManager:
             self._last_level_index = level_index
             self.scores = {}
             self._recent_reports = []
+            if self.path_analyzer is not None:
+                # Paths observed before the recovery are as stale as the
+                # scores: re-targeting must be based on post-recovery data.
+                self.path_analyzer.clear()
             self.inbox.drain()  # reports queued during recovery are stale
             self.kernel.trace.publish(
                 "rm.action.end",

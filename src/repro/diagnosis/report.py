@@ -1,0 +1,168 @@
+"""Renderer behind ``repro paths``: observed call trees, dependency graph,
+anomaly ranking, and the recovery-decision audit, from a JSONL timeline.
+
+Works on the flat record dicts of :func:`repro.telemetry.export
+.read_timeline`; only timelines captured with the span layer enabled carry
+``span``/``path.end`` events (``repro run --trace`` enables both).
+"""
+
+from repro.diagnosis.path_analysis import PathAnalyzer
+from repro.telemetry.export import describe_record
+
+#: Event kinds rendered in the recovery-decision audit section.
+AUDIT_KINDS = ("rm.diagnosis", "rm.report", "rm.decision", "rm.action.end")
+
+
+def _trace_key(record):
+    return (record.get("bus"), record.get("trace"))
+
+
+def _span_trees(span_records):
+    """(bus, trace) → that trace's span records, in start order."""
+    traces = {}
+    for record in span_records:
+        traces.setdefault(_trace_key(record), []).append(record)
+    for spans in traces.values():
+        spans.sort(key=lambda r: r.get("span", 0))
+    return traces
+
+
+def _tree_signature(spans):
+    """Tuple of (depth, component) per span — the call-tree shape."""
+    depths = {}
+    signature = []
+    for span in spans:
+        parent = span.get("parent")
+        depth = 0 if parent is None else depths.get(parent, 0) + 1
+        depths[span.get("span")] = depth
+        signature.append((depth, span.get("component", "?")))
+    return tuple(signature)
+
+
+def _render_tree(signature, indent="      "):
+    return [f"{indent}{'  ' * depth}{component}"
+            for depth, component in signature]
+
+
+def _call_tree_section(trees, path_records, limit):
+    lines = ["observed call trees (by URL):"]
+    if not path_records:
+        lines.append("  (no path.end events — was the span layer enabled?)")
+        return lines
+
+    by_url = {}
+    for record in path_records:
+        url = record.get("url", "?")
+        stats = by_url.setdefault(url, {"ok": 0, "failed": 0, "shapes": {}})
+        stats["ok" if record.get("ok") else "failed"] += 1
+        spans = trees.get(_trace_key(record))
+        if spans:
+            signature = _tree_signature(spans)
+            stats["shapes"][signature] = stats["shapes"].get(signature, 0) + 1
+
+    for url, stats in sorted(by_url.items())[:limit]:
+        total = stats["ok"] + stats["failed"]
+        lines.append(f"  {url} — {total} path(s), {stats['failed']} failed")
+        if stats["shapes"]:
+            signature, _count = max(
+                stats["shapes"].items(), key=lambda kv: (kv[1], kv[0])
+            )
+            lines.extend(_render_tree(signature))
+            others = len(stats["shapes"]) - 1
+            if others:
+                lines.append(f"      (+{others} other observed shape(s))")
+    if len(by_url) > limit:
+        lines.append(f"  ... and {len(by_url) - limit} more URL(s)")
+    return lines
+
+
+def _dependency_graph(trees):
+    """Observed parent→child call counts across every trace."""
+    graph = {}
+    for spans in trees.values():
+        names = {s.get("span"): s.get("component", "?") for s in spans}
+        for span in spans:
+            parent = span.get("parent")
+            if parent is None or parent not in names:
+                continue
+            children = graph.setdefault(names[parent], {})
+            child = span.get("component", "?")
+            children[child] = children.get(child, 0) + 1
+    return graph
+
+
+def _dependency_section(graph, limit):
+    lines = ["observed dependency graph (component -> component, calls):"]
+    edges = sorted(
+        ((parent, child, count)
+         for parent, children in graph.items()
+         for child, count in children.items()),
+        key=lambda edge: (-edge[2], edge[0], edge[1]),
+    )
+    if not edges:
+        lines.append("  (no observed edges)")
+    for parent, child, count in edges[:limit]:
+        lines.append(f"  {parent} -> {child}  x{count}")
+    if len(edges) > limit:
+        lines.append(f"  ... and {len(edges) - limit} more edge(s)")
+    return lines
+
+
+def _ranking_section(analyzer):
+    total, failed = analyzer.sample()
+    lines = [
+        "anomaly ranking (chi-square over failed vs successful paths, "
+        f"{total} paths / {failed} failed):"
+    ]
+    ranking = analyzer.rank()
+    if not ranking:
+        reason = "nothing anomalous" if failed else "no failures observed"
+        lines.append(f"  (empty — {reason})")
+    for position, (component, score) in enumerate(ranking, start=1):
+        lines.append(f"  {position:>3}. {component:<24} score={score:.2f}")
+    return lines
+
+
+def _audit_section(records):
+    audit = [r for r in records if r.get("kind") in AUDIT_KINDS]
+    lines = [f"recovery decision audit ({len(audit)} events):"]
+    if not audit:
+        lines.append("  (no recovery-manager events in this timeline)")
+    for record in sorted(audit, key=lambda r: (r["t"], r.get("seq", 0))):
+        bus = record.get("bus", "")
+        lines.append(
+            f"  [{bus}] t={record['t']:9.3f}  {record['kind']:<14} "
+            f"{describe_record(record)}"
+        )
+    return lines
+
+
+def summarize_paths(records, limit=20):
+    """Human-readable path/diagnosis report for one JSONL timeline."""
+    spans = [r for r in records if r.get("kind") == "span"]
+    paths = [r for r in records if r.get("kind") == "path.end"]
+    trees = _span_trees(spans)
+
+    analyzer = PathAnalyzer(kernel=None, window=None,
+                            min_paths=1, min_failed=1)
+    for record in paths:
+        analyzer.record_path(
+            record["t"],
+            record.get("components") or (),
+            record.get("ok", False),
+            failed_in=record.get("failed_in") or (),
+        )
+
+    lines = [
+        f"{len(records)} events: {len(spans)} spans across "
+        f"{len(paths)} completed paths"
+    ]
+    lines.append("")
+    lines.extend(_call_tree_section(trees, paths, limit))
+    lines.append("")
+    lines.extend(_dependency_section(_dependency_graph(trees), limit))
+    lines.append("")
+    lines.extend(_ranking_section(analyzer))
+    lines.append("")
+    lines.extend(_audit_section(records))
+    return "\n".join(lines)

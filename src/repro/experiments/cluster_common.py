@@ -3,6 +3,7 @@
 from repro.cluster.cluster import build_cluster
 from repro.cluster.load_balancer import FailoverMode
 from repro.faults.injector import FaultInjector
+from repro.telemetry.spans import SpanCollector
 from repro.workload.client import ClientPopulation
 from repro.workload.markov import WorkloadProfile
 
@@ -27,6 +28,14 @@ class ClusterRig:
             retry_policy=retry_policy,
         )
         self.kernel = self.cluster.kernel
+        # One collector for the whole cluster: traces start at the LB and
+        # are tagged (by the admitting server) with the node that actually
+        # served the request — failover redirects stay visible per-path.
+        # Enabled only via the spans default (e.g. `repro run --trace`).
+        self.span_collector = SpanCollector(self.kernel)
+        self.cluster.load_balancer.span_collector = self.span_collector
+        for node in self.cluster.nodes:
+            node.system.server.span_collector = self.span_collector
         self.reports = []
         self.population = ClientPopulation(
             self.kernel,

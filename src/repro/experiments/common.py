@@ -6,11 +6,13 @@ from repro.cluster.node import Node
 from repro.core.recovery_manager import RecoveryManager
 from repro.core.retry import RetryPolicy
 from repro.detection.comparison import ComparisonDetector
+from repro.diagnosis import PathAnalyzer
 from repro.ebid.app import build_ebid_system
 from repro.ebid.descriptors import URL_PATH_MAP
 from repro.ebid.schema import DatasetConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.lowlevel import LowLevelInjector
+from repro.telemetry.spans import SpanCollector, spans_enabled_by_default
 from repro.workload.client import ClientPopulation
 from repro.workload.markov import WorkloadProfile
 
@@ -75,6 +77,8 @@ class SingleNodeRig:
         profile=None,
         heap=None,
         rm_kwargs=None,
+        diagnosis="static-map",
+        url_path_map=None,
     ):
         self.dataset = dataset or DatasetConfig()
         self.system = build_ebid_system(
@@ -91,6 +95,22 @@ class SingleNodeRig:
         self.lowlevel = LowLevelInjector(
             self.system, self.system.rng.stream("lowlevel")
         )
+
+        # Span layer: always built (so `repro run --trace` timelines carry
+        # call trees), but only *enabled* — and only feeding a PathAnalyzer
+        # — when path-analysis diagnosis or the --trace default asks for it.
+        # Disabled, it costs one attribute check per request.
+        self.span_collector = SpanCollector(
+            self.kernel,
+            enabled=True if diagnosis == "path-analysis" else None,
+        )
+        self.path_analyzer = None
+        if diagnosis == "path-analysis" or spans_enabled_by_default():
+            self.path_analyzer = PathAnalyzer(kernel=self.kernel)
+            self.span_collector.add_sink(self.path_analyzer.record)
+        self.system.server.span_collector = self.span_collector
+        # The comparison detector's shadow stays untraced: mirrored probes
+        # are not real user requests and would dilute the path statistics.
 
         self.shadow = None
         comparison = None
@@ -115,9 +135,11 @@ class SingleNodeRig:
             self.recovery_manager = RecoveryManager(
                 self.kernel,
                 self.system.coordinator,
-                URL_PATH_MAP,
+                URL_PATH_MAP if url_path_map is None else url_path_map,
                 node_controller=self.node,
                 policy=recovery_policy,
+                diagnosis=diagnosis,
+                path_analyzer=self.path_analyzer,
                 **tuned,
             )
             self.recovery_manager.start()

@@ -19,6 +19,7 @@ counters:
 """
 
 from repro.telemetry.export import (
+    TimelineError,
     capture_to_jsonl,
     read_timeline,
     summarize_timeline,
@@ -30,6 +31,14 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.telemetry.spans import (
+    RequestPath,
+    Span,
+    SpanCollector,
+    TraceContext,
+    set_default_spans,
+    spans_enabled_by_default,
 )
 from repro.telemetry.trace import (
     TraceBus,
@@ -45,12 +54,19 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RequestPath",
+    "Span",
+    "SpanCollector",
+    "TimelineError",
     "TraceBus",
+    "TraceContext",
     "TraceEvent",
     "all_buses",
     "capture_to_jsonl",
     "read_timeline",
+    "set_default_spans",
     "set_default_tracing",
+    "spans_enabled_by_default",
     "summarize_timeline",
     "tracing_enabled_by_default",
     "write_timeline",

@@ -9,6 +9,7 @@ events from several buses (figure-1 runs two kernels, one per policy); the
 import json
 from contextlib import contextmanager
 
+from repro.telemetry.spans import set_default_spans
 from repro.telemetry.trace import (
     all_buses,
     begin_capture,
@@ -35,14 +36,36 @@ def write_timeline(path, buses=None):
     return written
 
 
+class TimelineError(Exception):
+    """A JSONL timeline file is corrupt or not a trace timeline at all."""
+
+
 def read_timeline(path):
-    """Parse a JSONL timeline back into a list of flat dicts."""
+    """Parse a JSONL timeline back into a list of flat dicts.
+
+    Raises :class:`TimelineError` (with the offending line number) on
+    malformed JSON or on records missing the ``t``/``kind`` envelope, so
+    the CLI can report corrupt files as one-line errors.
+    """
     records = []
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TimelineError(
+                    f"{path}:{lineno}: not valid JSONL ({exc.msg})"
+                ) from exc
+            if not isinstance(record, dict) or "t" not in record \
+                    or "kind" not in record:
+                raise TimelineError(
+                    f"{path}:{lineno}: not a trace timeline record "
+                    "(missing 't'/'kind' envelope)"
+                )
+            records.append(record)
     return records
 
 
@@ -57,10 +80,12 @@ def capture_to_jsonl(path):
     """
     scope = begin_capture()
     previous = set_default_tracing(True)
+    previous_spans = set_default_spans(True)
     try:
         yield scope
     finally:
         set_default_tracing(previous)
+        set_default_spans(previous_spans)
         end_capture(scope)
         write_timeline(path, scope)
 
@@ -87,7 +112,7 @@ def _fmt(value):
     return str(value)
 
 
-def _describe(record):
+def describe_record(record):
     """Payload fields of one record as `key=value` text, stable order."""
     skip = {"t", "seq", "kind", "bus"}
     return " ".join(
@@ -95,6 +120,9 @@ def _describe(record):
         for key in sorted(record)
         if key not in skip and record[key] is not None
     )
+
+
+_describe = describe_record  # internal alias kept for the summarizer below
 
 
 def summarize_timeline(records, slowest=5):

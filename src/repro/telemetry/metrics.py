@@ -135,7 +135,12 @@ class Histogram:
         return self.sum / self.count if self.count else None
 
     def quantile(self, q):
-        """Value at quantile ``q`` in [0, 1], within the relative accuracy."""
+        """Value at quantile ``q`` in [0, 1], within the relative accuracy.
+
+        An empty histogram has no quantiles: returns None (never raises),
+        and every consumer — :meth:`percentiles`, the registry snapshot,
+        report rendering — must tolerate the None.
+        """
         if not 0 <= q <= 1:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
@@ -152,7 +157,9 @@ class Histogram:
         return self.max
 
     def percentiles(self):
-        """The standard p50/p95/p99 summary."""
+        """The standard p50/p95/p99 summary (all None when empty)."""
+        if self.count == 0:
+            return {"p50": None, "p95": None, "p99": None}
         return {
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),

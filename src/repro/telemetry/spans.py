@@ -1,0 +1,327 @@
+"""Causal request-path spans: who actually called whom, per request.
+
+PR 1's :class:`~repro.telemetry.trace.TraceBus` records flat events; this
+layer adds *causality*.  A per-request :class:`TraceContext` travels on the
+:class:`~repro.appserver.http.HttpRequest` through the load balancer, the
+application server, and every container invocation, recording one
+:class:`Span` per component entered (component, start/end sim-time,
+outcome).  When the request finishes — the issuing client knows the
+detector verdict, so it closes the trace — the completed path feeds two
+consumers:
+
+* the kernel's TraceBus: one ``span`` event per span plus one ``path.end``
+  summary event, so ``--trace`` JSONL timelines carry observed call trees
+  that ``repro paths`` can render;
+* registered *path sinks* (the :class:`~repro.diagnosis.PathAnalyzer`),
+  which aggregate failed-vs-successful path membership for Pinpoint-style
+  fault localization feeding the recovery manager.
+
+Memory stays bounded: spans live only inside their trace context, which is
+dropped when the request finishes (sinks receive a compact
+:class:`RequestPath`, never the span objects), a per-trace span cap guards
+against runaway recursion, and the collector itself holds no references to
+open traces — an abandoned request's context is garbage the moment its
+request object is.
+
+A disabled collector (the default) costs one attribute check per request
+at the server edge and one ``ctx.trace is None`` check per component call,
+mirroring the disabled-TraceBus contract that keeps the telemetry layer
+inside its <10% overhead budget.
+"""
+
+from itertools import count
+
+#: Whether newly constructed collectors start enabled (see
+#: :func:`set_default_spans`); flipped by the CLI for ``--trace`` runs.
+_default_enabled = False
+
+
+def set_default_spans(enabled):
+    """Make collectors created from now on start enabled; returns the old
+    value.  The span analogue of ``trace.set_default_tracing``."""
+    global _default_enabled
+    previous = _default_enabled
+    _default_enabled = bool(enabled)
+    return previous
+
+
+def spans_enabled_by_default():
+    return _default_enabled
+
+
+class Span:
+    """One component's participation in one request."""
+
+    __slots__ = ("span_id", "parent_id", "component", "started_at",
+                 "finished_at", "outcome")
+
+    def __init__(self, span_id, parent_id, component, started_at):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.component = component
+        self.started_at = started_at
+        #: None while the span is open (the request may abandon it there:
+        #: a deadlocked component holds its span until the thread is
+        #: killed, and the trace may finish first).
+        self.finished_at = None
+        #: "ok", an exception class name, or None while open.
+        self.outcome = None
+
+    @property
+    def ok(self):
+        return self.outcome == "ok"
+
+    @property
+    def failed(self):
+        return self.outcome is not None and self.outcome != "ok"
+
+    def __repr__(self):
+        return (
+            f"<Span {self.span_id} {self.component} "
+            f"{self.outcome or 'open'}>"
+        )
+
+
+class RequestPath:
+    """Compact record of one completed request's observed call path.
+
+    This — not the span objects — is what path sinks receive: component
+    membership in first-entry order, the observed parent→child call edges,
+    the components whose invocation raised, and the client-side verdict.
+    """
+
+    __slots__ = ("trace_id", "url", "operation", "client_id", "node", "ok",
+                 "failure", "started_at", "finished_at", "components",
+                 "edges", "failed_in")
+
+    def __init__(self, trace_id, url, operation, client_id, node, ok,
+                 failure, started_at, finished_at, components, edges,
+                 failed_in):
+        self.trace_id = trace_id
+        self.url = url
+        self.operation = operation
+        self.client_id = client_id
+        self.node = node
+        self.ok = ok
+        self.failure = failure
+        self.started_at = started_at
+        self.finished_at = finished_at
+        self.components = components  # tuple, first-entry order, unique
+        self.edges = edges  # tuple of (parent_component, child_component)
+        self.failed_in = failed_in  # components whose invocation raised
+
+    @property
+    def duration(self):
+        return self.finished_at - self.started_at
+
+    def __repr__(self):
+        state = "ok" if self.ok else f"FAILED({self.failure})"
+        return (
+            f"<RequestPath {self.trace_id} {self.operation} "
+            f"{'>'.join(self.components)} {state}>"
+        )
+
+
+class TraceContext:
+    """Per-request span book-keeping, carried on the HttpRequest."""
+
+    __slots__ = ("collector", "trace_id", "url", "operation", "client_id",
+                 "started_at", "node", "spans", "finished", "truncated")
+
+    def __init__(self, collector, trace_id, url, operation, client_id):
+        self.collector = collector
+        self.trace_id = trace_id
+        self.url = url
+        self.operation = operation
+        self.client_id = client_id
+        self.started_at = collector.now
+        self.node = None  # set by the first server that admits the request
+        self.spans = []
+        self.finished = False
+        self.truncated = False
+
+    # ------------------------------------------------------------------
+    # Span lifecycle (containers call these)
+    # ------------------------------------------------------------------
+    def start_span(self, component, parent=None):
+        """Open a span for ``component``; returns None past the span cap.
+
+        Callers must tolerate None (and :meth:`finish_span` does): a trace
+        that blew its cap keeps its truncation visible instead of growing
+        without bound under runaway recursion.
+        """
+        if self.finished:
+            return None
+        if len(self.spans) >= self.collector.max_spans_per_trace:
+            self.truncated = True
+            return None
+        span = Span(
+            span_id=len(self.spans),
+            parent_id=parent.span_id if parent is not None else None,
+            component=component,
+            started_at=self.collector.now,
+        )
+        self.spans.append(span)
+        return span
+
+    def finish_span(self, span, outcome=None):
+        """Close ``span`` (no-op for None) with "ok" or an error name."""
+        if span is None:
+            return
+        span.finished_at = self.collector.now
+        span.outcome = "ok" if outcome is None else outcome
+
+    # ------------------------------------------------------------------
+    # Trace completion (the issuing client calls this)
+    # ------------------------------------------------------------------
+    def finish(self, ok, failure=None):
+        """Close the trace with the client-side verdict; returns the
+        :class:`RequestPath` delivered to the sinks (or None if already
+        closed)."""
+        if self.finished:
+            return None
+        self.finished = True
+        return self.collector._finish(self, bool(ok), failure)
+
+    def __repr__(self):
+        return (
+            f"<TraceContext {self.trace_id} {self.operation} "
+            f"{len(self.spans)} spans>"
+        )
+
+
+class SpanCollector:
+    """Creates, completes, and fans out request traces for one kernel."""
+
+    MAX_SPANS_PER_TRACE = 256
+
+    def __init__(self, kernel=None, enabled=None,
+                 max_spans_per_trace=MAX_SPANS_PER_TRACE):
+        self.kernel = kernel
+        self.enabled = _default_enabled if enabled is None else bool(enabled)
+        self.max_spans_per_trace = max_spans_per_trace
+        #: Callables invoked with each completed RequestPath.
+        self.sinks = []
+        self.traces_started = 0
+        self.paths_recorded = 0
+        self._trace_ids = count(1)
+
+    @property
+    def now(self):
+        return self.kernel.now if self.kernel is not None else 0.0
+
+    def add_sink(self, sink):
+        """Register ``sink(request_path)``; returns it for unregistering."""
+        self.sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink):
+        try:
+            self.sinks.remove(sink)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Trace creation
+    # ------------------------------------------------------------------
+    def start_trace(self, url, operation, client_id=0):
+        """New TraceContext (even when disabled — use :meth:`attach`)."""
+        self.traces_started += 1
+        return TraceContext(
+            self, next(self._trace_ids), url, operation, client_id
+        )
+
+    def attach(self, request, node=None):
+        """Ensure ``request`` carries a trace context; no-op when disabled.
+
+        Idempotent across hops: the load balancer and the server may both
+        call this, and only the first creates the context.  ``node`` names
+        the serving node on first admission (failover redirects keep the
+        node that actually served the request).
+        """
+        if not self.enabled:
+            return None
+        trace = request.trace
+        if trace is None:
+            trace = self.start_trace(
+                url=request.url,
+                operation=request.operation,
+                client_id=request.client_id,
+            )
+            request.trace = trace
+        if node is not None and trace.node is None:
+            trace.node = node
+        return trace
+
+    # ------------------------------------------------------------------
+    # Trace completion
+    # ------------------------------------------------------------------
+    def _finish(self, trace, ok, failure):
+        components, edges, failed_in = [], [], []
+        by_id = {span.span_id: span for span in trace.spans}
+        for span in trace.spans:
+            if span.component not in components:
+                components.append(span.component)
+            if span.parent_id is not None:
+                edge = (by_id[span.parent_id].component, span.component)
+                if edge not in edges:
+                    edges.append(edge)
+            if span.failed and span.component not in failed_in:
+                failed_in.append(span.component)
+        path = RequestPath(
+            trace_id=trace.trace_id,
+            url=trace.url,
+            operation=trace.operation,
+            client_id=trace.client_id,
+            node=trace.node,
+            ok=ok,
+            failure=failure,
+            started_at=trace.started_at,
+            finished_at=self.now,
+            components=tuple(components),
+            edges=tuple(edges),
+            failed_in=tuple(failed_in),
+        )
+        self.paths_recorded += 1
+        self._publish(trace, path)
+        for sink in self.sinks:
+            sink(path)
+        return path
+
+    def _publish(self, trace, path):
+        """Mirror the trace into the TraceBus (no-op when bus disabled)."""
+        bus = self.kernel.trace if self.kernel is not None else None
+        if bus is None or not bus.enabled:
+            return
+        for span in trace.spans:
+            bus.publish(
+                "span",
+                trace=trace.trace_id,
+                span=span.span_id,
+                parent=span.parent_id,
+                component=span.component,
+                start=span.started_at,
+                end=span.finished_at,
+                outcome=span.outcome or "open",
+            )
+        bus.publish(
+            "path.end",
+            trace=trace.trace_id,
+            url=path.url,
+            operation=path.operation,
+            client=path.client_id,
+            node=path.node,
+            ok=path.ok,
+            failure=path.failure,
+            duration=path.duration,
+            components=path.components,
+            failed_in=path.failed_in,
+            truncated=trace.truncated or None,
+        )
+
+    def __repr__(self):
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"<SpanCollector {state} traces={self.traces_started} "
+            f"paths={self.paths_recorded}>"
+        )

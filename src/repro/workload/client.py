@@ -144,6 +144,16 @@ class EmulatedClient:
         if failure is None and self.comparison is not None:
             failure = yield from self.comparison.check(request, response)
 
+        # The client knows the end-to-end verdict, so it closes the span
+        # trace (if admission attached one): the completed path carries the
+        # gold failure label the path analyzer correlates against.
+        trace_ctx = request.trace
+        if trace_ctx is not None:
+            trace_ctx.finish(
+                ok=failure is None,
+                failure=failure.value if failure is not None else None,
+            )
+
         trace.publish(
             "request.end",
             client=self.client_id,

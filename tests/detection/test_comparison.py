@@ -83,3 +83,52 @@ def test_cookie_translation_for_sessions(rig):
     verdict, about = check(main, detector, "/ebid/AboutMe", cookie=cookie)
     assert verdict is None
     assert about.payload["nickname"] == "user1"
+
+
+def test_mismatch_counter_tracks_verdicts(rig):
+    main, _shadow, detector = rig
+    verdict, _ = check(main, detector, "/ebid/ViewItem", {"item_id": 3})
+    assert verdict is None
+    FaultInjector(main).corrupt_session_bean_attribute(CorruptionMode.WRONG)
+    # A *different* item: the WAR's fragment cache still holds item 3's
+    # pre-corruption page, which would (correctly) still compare equal.
+    verdict, _ = check(main, detector, "/ebid/ViewItem", {"item_id": 4})
+    assert verdict is FailureKind.COMPARISON_MISMATCH
+    assert detector.checks == 2
+    assert detector.mismatches == 1
+
+
+def test_mismatch_report_reaches_the_recovery_manager(rig):
+    """The full §4 loop: a comparison mismatch becomes a FailureReport of
+    kind COMPARISON_MISMATCH, scores the URL's call path in the RM, and
+    (at threshold 1) triggers an EJB-level microreboot."""
+    from repro.core.recovery_manager import FailureReport, RecoveryManager
+    from repro.ebid.descriptors import URL_PATH_MAP
+
+    main, _shadow, detector = rig
+    FaultInjector(main).corrupt_session_bean_attribute(CorruptionMode.WRONG)
+    verdict, response = check(main, detector, "/ebid/ViewItem", {"item_id": 3})
+    assert verdict is FailureKind.COMPARISON_MISMATCH
+
+    rm = RecoveryManager(
+        main.kernel, main.coordinator, URL_PATH_MAP,
+        score_threshold=1, post_recovery_grace=0.0,
+    )
+    rm.start()
+    rm.report(
+        FailureReport(
+            time=main.kernel.now,
+            url="/ebid/ViewItem",
+            operation="ViewItem",
+            kind=verdict,
+            detail=response.body[:80],
+        )
+    )
+    main.kernel.run(until=main.kernel.now + 30.0)
+    assert rm.metrics.get("rm.reports.received").value == 1
+    assert rm.actions, "a comparison mismatch must be actionable"
+    action = rm.actions[0]
+    assert action.level == "ejb"
+    assert action.trigger is FailureKind.COMPARISON_MISMATCH
+    # The ViewItem path's beans are the candidates the mismatch implicates.
+    assert set(action.target) & set(URL_PATH_MAP["/ebid/ViewItem"])

@@ -1,0 +1,157 @@
+"""Tests for Pinpoint-style path analysis (chi-square anomaly scoring)."""
+
+from repro.diagnosis import PathAnalyzer, chi_square_2x2
+
+
+class FakeKernel:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+# ----------------------------------------------------------------------
+# The statistic
+# ----------------------------------------------------------------------
+
+def test_chi_square_known_value():
+    # 10 failed with C, 0 failed without, 0 ok with, 10 ok without:
+    # perfect association → statistic equals N.
+    assert chi_square_2x2(10, 0, 0, 10) == 20.0
+
+
+def test_chi_square_degenerate_tables_are_zero():
+    assert chi_square_2x2(0, 0, 0, 0) == 0.0
+    assert chi_square_2x2(5, 0, 5, 0) == 0.0  # every path contains C
+    assert chi_square_2x2(0, 5, 0, 5) == 0.0  # no path contains C
+
+
+def test_chi_square_independence_scores_zero():
+    # Presence of C is uncorrelated with failure.
+    assert chi_square_2x2(5, 5, 5, 5) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Ranking
+# ----------------------------------------------------------------------
+
+def analyzer(**kwargs):
+    defaults = dict(kernel=FakeKernel(), window=None,
+                    min_paths=1, min_failed=1)
+    defaults.update(kwargs)
+    return PathAnalyzer(**defaults)
+
+
+def feed(pa, failed_with, ok_with, ok_without, component="Bad",
+         shared=("WAR",)):
+    t = 0.0
+    for _ in range(failed_with):
+        pa.record_path(t, (*shared, component), ok=False,
+                       failed_in=(component,))
+    for _ in range(ok_with):
+        pa.record_path(t, (*shared, component), ok=True)
+    for _ in range(ok_without):
+        pa.record_path(t, shared, ok=True)
+
+
+def test_faulty_component_tops_the_ranking():
+    pa = analyzer()
+    feed(pa, failed_with=8, ok_with=0, ok_without=12)
+    ranking = pa.rank()
+    assert ranking[0][0] == "Bad"
+    assert ranking[0][1] > 0
+    # The shared component is on every path — no positive association.
+    assert all(name != "WAR" for name, _score in ranking)
+
+
+def test_components_on_healthy_paths_are_not_implicated():
+    pa = analyzer()
+    # "Good" appears only on successful paths; negative association.
+    for _ in range(5):
+        pa.record_path(0.0, ("WAR", "Good"), ok=True)
+    for _ in range(5):
+        pa.record_path(0.0, ("WAR", "Bad"), ok=False, failed_in=("Bad",))
+    names = [name for name, _ in pa.rank()]
+    assert "Bad" in names and "Good" not in names
+
+
+def test_tie_breaks_toward_the_observed_error_site():
+    pa = analyzer()
+    # A and B always co-occur, so their tables are identical; only B is
+    # ever the component whose invocation actually raised.
+    for _ in range(6):
+        pa.record_path(0.0, ("A", "B"), ok=False, failed_in=("B",))
+    for _ in range(6):
+        pa.record_path(0.0, ("C",), ok=True)
+    ranking = pa.rank()
+    assert ranking[0][0] == "B"
+    assert ranking[0][1] == ranking[1][1]  # genuinely tied statistics
+
+
+def test_no_failures_means_empty_ranking():
+    pa = analyzer()
+    feed(pa, failed_with=0, ok_with=5, ok_without=5)
+    assert pa.rank() == []
+
+
+# ----------------------------------------------------------------------
+# Readiness gating and decay
+# ----------------------------------------------------------------------
+
+def test_ready_requires_both_volume_and_failures():
+    pa = analyzer(min_paths=10, min_failed=3)
+    feed(pa, failed_with=2, ok_with=0, ok_without=10)
+    assert not pa.ready()  # 12 paths but only 2 failed
+    feed(pa, failed_with=1, ok_with=0, ok_without=0)
+    assert pa.ready()
+
+
+def test_sliding_window_decays_old_observations():
+    kernel = FakeKernel()
+    pa = PathAnalyzer(kernel=kernel, window=100.0,
+                      min_paths=1, min_failed=1)
+    pa.record_path(0.0, ("WAR", "Old"), ok=False, failed_in=("Old",))
+    kernel.now = 50.0
+    assert pa.sample() == (1, 1)
+    kernel.now = 200.0  # the old path is now outside the window
+    pa.record_path(200.0, ("WAR", "New"), ok=False, failed_in=("New",))
+    total, failed = pa.sample()
+    assert (total, failed) == (1, 1)
+    assert [name for name, _ in pa.rank()] != ["Old"]
+
+
+def test_memory_stays_bounded_by_max_paths():
+    pa = analyzer(max_paths=100)
+    for i in range(1000):
+        pa.record_path(float(i), ("WAR", f"C{i % 7}"), ok=i % 3 == 0)
+    assert pa.sample()[0] == 100
+    assert pa.recorded == 1000
+
+
+def test_clear_resets_observations():
+    pa = analyzer()
+    feed(pa, failed_with=3, ok_with=0, ok_without=3)
+    pa.clear()
+    assert pa.sample() == (0, 0)
+    assert pa.rank() == []
+
+
+# ----------------------------------------------------------------------
+# Graph and audit
+# ----------------------------------------------------------------------
+
+def test_dependency_graph_counts_edges():
+    pa = analyzer()
+    pa.record_path(0.0, ("WAR", "A"), ok=True, edges=(("WAR", "A"),))
+    pa.record_path(0.0, ("WAR", "A", "B"), ok=True,
+                   edges=(("WAR", "A"), ("A", "B")))
+    graph = pa.dependency_graph()
+    assert graph["WAR"]["A"] == 2
+    assert graph["A"]["B"] == 1
+
+
+def test_explain_summarizes_state():
+    pa = analyzer()
+    feed(pa, failed_with=4, ok_with=0, ok_without=8)
+    audit = pa.explain(limit=2)
+    assert audit["paths"] == 12 and audit["failed"] == 4
+    assert audit["ready"] is True
+    assert audit["ranking"][0][0] == "Bad"

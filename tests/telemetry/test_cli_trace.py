@@ -44,11 +44,27 @@ def test_trace_command_missing_file_is_a_clean_error(tmp_path, capsys):
     assert "no such trace file" in err
 
 
-def test_trace_command_empty_file(tmp_path, capsys):
+def test_trace_command_empty_file_is_a_clean_error(tmp_path, capsys):
     path = tmp_path / "empty.jsonl"
     path.write_text("")
-    assert main(["trace", str(path)]) == 0
-    assert "empty timeline" in capsys.readouterr().out
+    assert main(["trace", str(path)]) == 2
+    assert "empty timeline" in capsys.readouterr().err
+
+
+def test_trace_command_corrupt_file_is_a_clean_error(tmp_path, capsys):
+    path = tmp_path / "corrupt.jsonl"
+    path.write_text('{"t": 1.0, "kind": "x"}\nnot json at all\n')
+    assert main(["trace", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "corrupt.jsonl:2" in err
+
+
+def test_trace_command_wrong_schema_is_a_clean_error(tmp_path, capsys):
+    path = tmp_path / "notatrace.jsonl"
+    path.write_text('{"some": "other", "jsonl": "file"}\n')
+    assert main(["trace", str(path)]) == 2
+    assert "not a trace timeline" in capsys.readouterr().err
 
 
 def test_run_parser_accepts_trace_flag(tmp_path):
@@ -64,3 +80,64 @@ def test_timeline_is_valid_jsonl(tmp_path):
     with open(path, encoding="utf-8") as fh:
         records = [json.loads(line) for line in fh]
     assert all({"t", "seq", "kind", "bus"} <= set(r) for r in records)
+
+
+# ----------------------------------------------------------------------
+# The `paths` subcommand
+# ----------------------------------------------------------------------
+
+def make_span_timeline(path):
+    bus = TraceBus(enabled=True, label="run")
+    for span_id, (parent, comp, outcome) in enumerate(
+        [(None, "EbidWAR", "ok"), (0, "CommitBid", "ok"),
+         (1, "IdentityManager", "AppError")]
+    ):
+        bus.publish("span", trace=1, span=span_id, parent=parent,
+                    component=comp, start=0.0, end=1.0, outcome=outcome)
+    bus.publish(
+        "path.end", trace=1, url="/ebid/CommitBid", operation="CommitBid",
+        client=0, node="server-1", ok=False, failure="http-error",
+        duration=1.0, components=("EbidWAR", "CommitBid", "IdentityManager"),
+        failed_in=("IdentityManager",),
+    )
+    bus.publish("rm.decision", level="ejb", target=("IdentityManager",))
+    write_timeline(path, [bus])
+    return path
+
+
+def test_paths_command_renders_call_tree_and_ranking(tmp_path, capsys):
+    path = make_span_timeline(tmp_path / "spans.jsonl")
+    assert main(["paths", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "observed call trees" in out
+    assert "/ebid/CommitBid" in out
+    assert "EbidWAR -> CommitBid" in out
+    assert "anomaly ranking" in out
+    assert "recovery decision audit" in out
+    assert "rm.decision" in out
+
+
+def test_paths_command_missing_file_is_a_clean_error(tmp_path, capsys):
+    assert main(["paths", str(tmp_path / "nope.jsonl")]) == 2
+    assert "no such trace file" in capsys.readouterr().err
+
+
+def test_paths_command_empty_file_is_a_clean_error(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert main(["paths", str(path)]) == 2
+    assert "empty timeline" in capsys.readouterr().err
+
+
+def test_paths_command_corrupt_file_is_a_clean_error(tmp_path, capsys):
+    path = tmp_path / "corrupt.jsonl"
+    path.write_text("{broken\n")
+    assert main(["paths", str(path)]) == 2
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_paths_command_spanless_timeline_degrades_gracefully(tmp_path, capsys):
+    path = make_timeline(tmp_path / "plain.jsonl")
+    assert main(["paths", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "no path.end events" in out

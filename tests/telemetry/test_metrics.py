@@ -127,6 +127,27 @@ def test_histogram_rejects_bad_arguments():
         Histogram().quantile(1.2)
 
 
+def test_empty_histogram_has_no_quantiles():
+    """The defined contract: every quantile of an empty histogram is None
+    (never an exception), and consumers must tolerate the None."""
+    histogram = Histogram("empty")
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert histogram.quantile(q) is None
+    assert histogram.percentiles() == {"p50": None, "p95": None, "p99": None}
+    # Out-of-range q still raises even when empty: caller bug, not data.
+    with pytest.raises(ValueError):
+        histogram.quantile(-0.1)
+
+
+def test_registry_snapshot_tolerates_empty_histogram():
+    registry = MetricsRegistry()
+    registry.histogram("latency")  # registered, never observed
+    snap = registry.snapshot()
+    assert snap["latency"]["count"] == 0
+    assert snap["latency"]["p50"] is None
+    assert snap["latency"]["min"] is None
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
