@@ -30,6 +30,17 @@ def full_scale():
     return os.environ.get("REPRO_FULL", "") not in ("", "0")
 
 
+def campaign_jobs():
+    """Worker-process count for campaign-shaped benchmarks.
+
+    ``REPRO_JOBS=N`` fans each experiment's independent trials across N
+    processes (``0`` = all cores), same contract as ``repro run --jobs``.
+    Defaults to 1: sequential is the reference measurement.
+    """
+    value = os.environ.get("REPRO_JOBS", "").strip()
+    return int(value) if value else 1
+
+
 @pytest.fixture
 def record_result():
     """Write a rendered experiment result for later inspection."""

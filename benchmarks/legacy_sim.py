@@ -1,0 +1,199 @@
+"""Frozen copy of the PRE-optimization simulation kernel (perf reference).
+
+This is the seed repository's ``repro.sim`` hot path, verbatim except for
+being self-contained (no TraceBus, no condition events — the throughput
+workloads do not touch either).  ``test_kernel_throughput`` runs the same
+workload against this module and against the live ``repro.sim`` in the
+same interpreter, which makes the measured speedup machine-independent:
+whatever box runs the benchmark, both sides see the same hardware.
+
+Do not optimize this file.  It exists to stay slow.
+"""
+
+import heapq
+import inspect
+from collections import deque
+from itertools import count
+
+
+class SimulationError(Exception):
+    pass
+
+
+_PENDING = object()
+
+
+class Event:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.callbacks = []
+        self.defused = False
+        self.abandoned = False
+        self._value = _PENDING
+        self._ok = None
+
+    @property
+    def triggered(self):
+        return self._value is not _PENDING
+
+    @property
+    def processed(self):
+        return self.callbacks is None
+
+    def succeed(self, value=None):
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.kernel._schedule(self, 0.0)
+        return self
+
+    def fail(self, exception):
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() requires an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.kernel._schedule(self, 0.0)
+        return self
+
+
+class Timeout(Event):
+    def __init__(self, kernel, delay, value=None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(kernel)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        kernel._schedule(self, delay)
+
+
+class Process(Event):
+    def __init__(self, kernel, generator, name=None):
+        if not inspect.isgenerator(generator):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(kernel)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on = None
+        start = Event(kernel)
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    def _resume(self, trigger):
+        if self.triggered:
+            return
+        if (
+            self._waiting_on is not None
+            and trigger is not self._waiting_on
+            and self._waiting_on.callbacks is not None
+        ):
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on.abandoned = True
+        self._waiting_on = None
+
+        event = trigger
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.defused = False
+                self.fail(exc)
+                return
+            if target.callbacks is None:
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+            return
+
+
+class Queue:
+    """Minimal copy of repro.sim.resources.Queue against legacy events."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._items = deque()
+        self._getters = deque()
+
+    def put(self, item):
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered or getter.abandoned:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self):
+        event = Event(self.kernel)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Kernel:
+    def __init__(self):
+        self._now = 0.0
+        self._queue = []
+        self._sequence = count()
+        self.unhandled_failures = []
+
+    @property
+    def now(self):
+        return self._now
+
+    def event(self):
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name=None):
+        return Process(self, generator, name=name)
+
+    def _schedule(self, event, delay):
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
+
+    def step(self):
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event.defused:
+            self.unhandled_failures.append(event)
+
+    def run(self, until=None):
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) but the clock is already at {self._now}"
+            )
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = until

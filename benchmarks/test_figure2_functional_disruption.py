@@ -3,11 +3,13 @@
 from repro.ebid.descriptors import FUNCTIONAL_GROUPS
 from repro.experiments import figure2
 
-from benchmarks.conftest import full_scale, run_once
+from benchmarks.conftest import campaign_jobs, full_scale, run_once
 
 
 def test_figure2_functional_disruption(benchmark, record_result):
-    result, _outcomes = run_once(benchmark, figure2.run, full=full_scale())
+    result, _outcomes = run_once(
+        benchmark, figure2.run, full=full_scale(), jobs=campaign_jobs()
+    )
     record_result("figure2_functional_disruption", result)
     print()
     print(result.render())

@@ -2,12 +2,13 @@
 
 from repro.experiments import figure6
 
-from benchmarks.conftest import full_scale, run_once
+from benchmarks.conftest import campaign_jobs, full_scale, run_once
 
 
 def test_figure6_rejuvenation(benchmark, record_result):
     result, outcomes = run_once(
-        benchmark, figure6.run, full=full_scale(), quick=not full_scale()
+        benchmark, figure6.run, full=full_scale(), quick=not full_scale(),
+        jobs=campaign_jobs(),
     )
     record_result("figure6_rejuvenation", result)
     print()

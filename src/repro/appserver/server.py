@@ -233,12 +233,14 @@ class ApplicationServer:
         self.requests_accepted += 1
         if self.span_collector is not None:
             self.span_collector.attach(request, node=self.name)
-        self.kernel.trace.publish(
-            "server.request.start",
-            server=self.name,
-            request_id=request.request_id,
-            operation=request.operation,
-        )
+        trace = self.kernel.trace
+        if trace.enabled:  # hoisted: skip kwargs-building on the hot path
+            trace.publish(
+                "server.request.start",
+                server=self.name,
+                request_id=request.request_id,
+                operation=request.operation,
+            )
         self.kernel.process(
             self._request_lifecycle(request, done),
             name=f"lifecycle-{request.request_id}",
@@ -265,13 +267,15 @@ class ApplicationServer:
         self.requests_completed += 1
         key = "network" if getattr(response, "network_error", False) else int(response.status)
         self.responses_by_status[key] = self.responses_by_status.get(key, 0) + 1
-        self.kernel.trace.publish(
-            "server.request.end",
-            server=self.name,
-            request_id=request.request_id,
-            operation=request.operation,
-            status=key,
-        )
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.publish(
+                "server.request.end",
+                server=self.name,
+                request_id=request.request_id,
+                operation=request.operation,
+                status=key,
+            )
         done.succeed(response)
 
     def _serve(self, ctx, request):

@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro run table1
     python -m repro run figure1 --quick --seed 3
+    python -m repro run table2 --jobs 4
     python -m repro run all --out-dir results/
     python -m repro run figure1 --quick --trace figure1.jsonl
     python -m repro trace figure1.jsonl
@@ -83,12 +84,16 @@ def build_parser():
     sub.add_parser("list", help="list the available experiments")
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument("experiment",
+                     help="experiment name (see 'repro list') or 'all'")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--full", action="store_true",
                      help="paper-scale parameters (slow)")
     run.add_argument("--quick", action="store_true",
                      help="smallest parameters (fast smoke run)")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="fan independent trials across N worker processes "
+                          "(0 = all cores); output is identical to --jobs 1")
     run.add_argument("--out-dir", type=Path, default=None,
                      help="also write rendered output files here")
     run.add_argument("--trace", type=Path, default=None,
@@ -136,15 +141,22 @@ def _load_timeline(path):
     return records
 
 
-def run_experiment(name, seed=0, full=False, quick=False):
+def run_experiment(name, seed=0, full=False, quick=False, jobs=1):
     """Run one experiment by name; returns its ExperimentResult."""
-    module, _description = EXPERIMENTS[name]
+    try:
+        module, _description = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment: {name!r} (see 'repro list')"
+        ) from None
     kwargs = {"seed": seed}
     accepted = inspect.signature(module.run).parameters
     if "full" in accepted:
         kwargs["full"] = full
     if "quick" in accepted:
         kwargs["quick"] = quick
+    if "jobs" in accepted and jobs != 1:
+        kwargs["jobs"] = jobs
     if "seed" not in accepted:
         del kwargs["seed"]
     outcome = module.run(**kwargs)
@@ -174,6 +186,21 @@ def main(argv=None):
         print(summarize_paths(records, limit=args.limit))
         return 0
 
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+        print(
+            f"error: unknown experiment: {args.experiment} (see 'repro list')",
+            file=sys.stderr,
+        )
+        return 2
+
+    jobs = args.jobs
+    if args.trace is not None and jobs != 1:
+        # Worker processes have their own trace buses; their timelines
+        # cannot reach this process's capture file.  Keep traced runs
+        # in-process so the JSONL timeline stays complete.
+        print("[--trace forces --jobs 1 so the timeline captures every event]")
+        jobs = 1
+
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     capture = (
         capture_to_jsonl(args.trace) if args.trace is not None else nullcontext()
@@ -182,7 +209,8 @@ def main(argv=None):
         for name in names:
             started = time.monotonic()
             result = run_experiment(
-                name, seed=args.seed, full=args.full, quick=args.quick
+                name, seed=args.seed, full=args.full, quick=args.quick,
+                jobs=jobs,
             )
             elapsed = time.monotonic() - started
             print(result.render())

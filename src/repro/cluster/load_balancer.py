@@ -133,13 +133,15 @@ class LoadBalancer:
         if request.cookie:
             self.sessions_failed_over.add(request.cookie)
         target = self._next_good_node(exclude=node)
-        self.kernel.trace.publish(
-            "lb.failover",
-            url=request.url,
-            from_node=node.name,
-            to_node=target.name,
-            mode=mode.value,
-        )
+        trace = self.kernel.trace
+        if trace.enabled:  # hoisted: one publish per redirected request
+            trace.publish(
+                "lb.failover",
+                url=request.url,
+                from_node=node.name,
+                to_node=target.name,
+                mode=mode.value,
+            )
         return target
 
     def _touches(self, request, components):

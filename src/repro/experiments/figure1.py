@@ -19,6 +19,7 @@ The three faults (paper caption):
 from repro.experiments.common import ExperimentResult, SingleNodeRig
 from repro.experiments.plotting import ascii_timeseries
 from repro.faults.corruption import CorruptionMode
+from repro.parallel import TrialSpec, run_campaign
 
 POLICIES = ("process-restart", "microreboot")
 
@@ -71,7 +72,8 @@ def run_one_policy(policy, seed, n_clients, fault_times, duration):
     }
 
 
-def run(seed=0, n_clients=500, fault_interval=600.0, full=False, quick=False):
+def run(seed=0, n_clients=500, fault_interval=600.0, full=False, quick=False,
+        jobs=1):
     """Run both policies and compare (Figure 1)."""
     if quick:
         n_clients, fault_interval = 150, 150.0
@@ -80,10 +82,22 @@ def run(seed=0, n_clients=500, fault_interval=600.0, full=False, quick=False):
     fault_times = (fault_interval, 2 * fault_interval, 3 * fault_interval)
     duration = 4 * fault_interval
 
-    outcomes = {
-        policy: run_one_policy(policy, seed, n_clients, fault_times, duration)
+    specs = [
+        TrialSpec(
+            task="repro.experiments.figure1:run_one_policy",
+            kwargs={
+                "policy": policy,
+                "n_clients": n_clients,
+                "fault_times": fault_times,
+                "duration": duration,
+            },
+            tag=policy,
+            seed=seed,
+        )
         for policy in POLICIES
-    }
+    ]
+    trials = run_campaign(specs, jobs=jobs)
+    outcomes = {policy: trial.value for policy, trial in zip(POLICIES, trials)}
 
     result = ExperimentResult(
         name="Taw under failures: JVM process restart vs EJB microreboot",

@@ -10,6 +10,9 @@ from repro.ebid.descriptors import FUNCTIONAL_GROUPS
 from repro.experiments.common import ExperimentResult, SingleNodeRig
 from repro.experiments.plotting import ascii_gap_chart
 from repro.faults.corruption import CorruptionMode
+from repro.parallel import TrialSpec, run_campaign
+
+POLICIES = ("process-restart", "microreboot")
 
 
 def run_one(policy, seed, n_clients, inject_at, duration):
@@ -35,6 +38,15 @@ def run_one(policy, seed, n_clients, inject_at, duration):
     return rig, gaps
 
 
+def run_arm(policy, seed=0, n_clients=300, inject_at=240.0, duration=480.0):
+    """Spawn-safe trial entrypoint: per-group gap spans for one policy.
+
+    Returns only the (picklable) gap spans, not the rig itself.
+    """
+    _rig, gaps = run_one(policy, seed, n_clients, inject_at, duration)
+    return gaps
+
+
 def total_gap_seconds(spans, window):
     start, end = window
     total = 0.0
@@ -45,7 +57,8 @@ def total_gap_seconds(spans, window):
     return total
 
 
-def run(seed=0, n_clients=300, inject_at=240.0, duration=480.0, full=False):
+def run(seed=0, n_clients=300, inject_at=240.0, duration=480.0, full=False,
+        jobs=1):
     """Compare per-group unavailability around one recovery event."""
     if full:
         n_clients, inject_at, duration = 500, 600.0, 1200.0
@@ -56,13 +69,24 @@ def run(seed=0, n_clients=300, inject_at=240.0, duration=480.0, full=False):
         paper_reference="Figure 2",
         headers=("functional group", "restart: gap (s)", "µRB: gap (s)"),
     )
-    _restart_rig, restart_gaps = run_one(
-        "process-restart", seed, n_clients, inject_at, duration
-    )
-    _urb_rig, urb_gaps = run_one(
-        "microreboot", seed, n_clients, inject_at, duration
-    )
-    outcomes = {"process-restart": restart_gaps, "microreboot": urb_gaps}
+    specs = [
+        TrialSpec(
+            task="repro.experiments.figure2:run_arm",
+            kwargs={
+                "policy": policy,
+                "n_clients": n_clients,
+                "inject_at": inject_at,
+                "duration": duration,
+            },
+            tag=policy,
+            seed=seed,
+        )
+        for policy in POLICIES
+    ]
+    trials = run_campaign(specs, jobs=jobs)
+    outcomes = {policy: trial.value for policy, trial in zip(POLICIES, trials)}
+    restart_gaps = outcomes["process-restart"]
+    urb_gaps = outcomes["microreboot"]
     for group in FUNCTIONAL_GROUPS:
         result.rows.append(
             (

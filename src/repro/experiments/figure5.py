@@ -13,6 +13,7 @@ with perfect detection.
 """
 
 from repro.experiments.common import ExperimentResult, SingleNodeRig
+from repro.parallel import TrialSpec, run_campaign
 
 DEFAULT_TDETS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0)
 
@@ -61,7 +62,8 @@ def false_positive_series(failed_per_restart, failed_per_urb, max_n=200):
     return restart, urb, tolerable_fp
 
 
-def run(seed=0, n_clients=300, t_dets=DEFAULT_TDETS, full=False, quick=False):
+def run(seed=0, n_clients=300, t_dets=DEFAULT_TDETS, full=False, quick=False,
+        jobs=1):
     """Both graphs of Figure 5."""
     if quick:
         n_clients = 150
@@ -70,11 +72,25 @@ def run(seed=0, n_clients=300, t_dets=DEFAULT_TDETS, full=False, quick=False):
         n_clients = 500
 
     left = {"microreboot": {}, "process-restart": {}}
-    for recovery in left:
-        for t_det in t_dets:
-            left[recovery][t_det] = run_delay_point(
-                recovery, t_det, seed, n_clients
-            )
+    arms = [
+        (recovery, t_det) for recovery in left for t_det in t_dets
+    ]
+    specs = [
+        TrialSpec(
+            task="repro.experiments.figure5:run_delay_point",
+            kwargs={
+                "recovery": recovery,
+                "t_det": t_det,
+                "n_clients": n_clients,
+            },
+            tag=f"{recovery}/Tdet={t_det}",
+            seed=seed,
+        )
+        for recovery, t_det in arms
+    ]
+    trials = run_campaign(specs, jobs=jobs)
+    for (recovery, t_det), trial in zip(arms, trials):
+        left[recovery][t_det] = trial.value
 
     crossover, budget = detection_crossover(
         left["process-restart"], left["microreboot"]

@@ -15,8 +15,11 @@ good Taw never dropped to zero.
 from repro.core.rejuvenation import RejuvenationService
 from repro.experiments.common import ExperimentResult, SingleNodeRig
 from repro.experiments.plotting import ascii_timeseries
+from repro.parallel import TrialSpec, run_campaign
 
 KB = 1024
+
+SCHEMES = ("jvm-restart", "microrejuvenation")
 
 
 class JvmRejuvenator:
@@ -93,6 +96,7 @@ def run(
     viewitem_leak=250 * KB,
     full=False,
     quick=False,
+    jobs=1,
 ):
     """30 minutes of leaking under both rejuvenation schemes."""
     if quick:
@@ -105,12 +109,25 @@ def run(
             "seconds with zero goodput",
         ),
     )
-    outcomes = {}
-    for scheme in ("jvm-restart", "microrejuvenation"):
-        outcome = run_one(
-            scheme, seed, n_clients, duration, item_leak, viewitem_leak
+    specs = [
+        TrialSpec(
+            task="repro.experiments.figure6:run_one",
+            kwargs={
+                "scheme": scheme,
+                "n_clients": n_clients,
+                "duration": duration,
+                "item_leak": item_leak,
+                "viewitem_leak": viewitem_leak,
+            },
+            tag=scheme,
+            seed=seed,
         )
-        outcomes[scheme] = outcome
+        for scheme in SCHEMES
+    ]
+    trials = run_campaign(specs, jobs=jobs)
+    outcomes = {scheme: trial.value for scheme, trial in zip(SCHEMES, trials)}
+    for scheme in SCHEMES:
+        outcome = outcomes[scheme]
         events = (
             outcome["microreboots"]
             if scheme == "microrejuvenation"

@@ -27,6 +27,7 @@ injected into IdentityManager:
 
 from repro.ebid.descriptors import URL_PATH_MAP
 from repro.experiments.common import ExperimentResult, SingleNodeRig
+from repro.parallel import TrialSpec, run_campaign
 
 MODES = ("static-map", "path-analysis")
 
@@ -115,7 +116,7 @@ def run_one_mode(mode, seed, n_clients, inject_at, duration):
 
 
 def run(seed=0, n_clients=150, inject_at=60.0, duration=None,
-        full=False, quick=False):
+        full=False, quick=False, jobs=1):
     """Run the IdentityManager fault under both diagnosis modes."""
     if quick:
         n_clients, inject_at = 100, 40.0
@@ -124,10 +125,22 @@ def run(seed=0, n_clients=150, inject_at=60.0, duration=None,
     if duration is None:
         duration = inject_at + 300.0
 
-    outcomes = {
-        mode: run_one_mode(mode, seed, n_clients, inject_at, duration)
+    specs = [
+        TrialSpec(
+            task="repro.experiments.path_diagnosis:run_one_mode",
+            kwargs={
+                "mode": mode,
+                "n_clients": n_clients,
+                "inject_at": inject_at,
+                "duration": duration,
+            },
+            tag=mode,
+            seed=seed,
+        )
         for mode in MODES
-    }
+    ]
+    trials = run_campaign(specs, jobs=jobs)
+    outcomes = {mode: trial.value for mode, trial in zip(MODES, trials)}
 
     result = ExperimentResult(
         name="Fault localization under a stale URL map: static diagnosis "

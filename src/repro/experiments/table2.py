@@ -25,6 +25,7 @@ from repro.ebid.audit import audit_database, manual_repair
 from repro.ebid.schema import TABLES
 from repro.experiments.common import ExperimentResult, SingleNodeRig
 from repro.faults.corruption import CorruptionMode
+from repro.parallel import TrialSpec, run_campaign
 
 MB = 1024 * 1024
 
@@ -309,8 +310,21 @@ def run_scenario(scenario, seed=0, n_clients=150):
     }
 
 
-def run(seed=0, n_clients=150, only=None, full=False):
-    """Run every Table 2 scenario (or a named subset via ``only``)."""
+def run_scenario_index(index, seed=0, n_clients=150):
+    """Spawn-safe trial entrypoint: run the ``index``-th Table 2 scenario.
+
+    Scenario objects hold lambdas and do not pickle, so parallel workers
+    re-derive the scenario list and select by position.
+    """
+    return run_scenario(_scenarios()[index], seed=seed, n_clients=n_clients)
+
+
+def run(seed=0, n_clients=150, only=None, full=False, jobs=1):
+    """Run every Table 2 scenario (or a named subset via ``only``).
+
+    Each scenario is one independent trial of a campaign: ``jobs>1`` fans
+    the 26 rows out across worker processes, with identical output.
+    """
     if full:
         n_clients = 300
     result = ExperimentResult(
@@ -321,12 +335,22 @@ def run(seed=0, n_clients=150, only=None, full=False):
             "resuscitated", "repair (≈)",
         ),
     )
-    outcomes = []
-    for scenario in _scenarios():
-        if only is not None and scenario.label not in only:
-            continue
-        outcome = run_scenario(scenario, seed=seed, n_clients=n_clients)
-        outcomes.append(outcome)
+    selected = [
+        (index, scenario)
+        for index, scenario in enumerate(_scenarios())
+        if only is None or scenario.label in only
+    ]
+    specs = [
+        TrialSpec(
+            task="repro.experiments.table2:run_scenario_index",
+            kwargs={"index": index, "n_clients": n_clients},
+            tag=scenario.label,
+            seed=seed,
+        )
+        for index, scenario in selected
+    ]
+    outcomes = [trial.value for trial in run_campaign(specs, jobs=jobs)]
+    for (_index, scenario), outcome in zip(selected, outcomes):
         paper = scenario.paper_level + (" ≈" if scenario.paper_repair else "")
         result.rows.append(
             (

@@ -1,0 +1,100 @@
+"""Spawn-safe worker entrypoints for parallel campaigns.
+
+Everything in this module must be importable from a freshly ``spawn``-ed
+interpreter: module-level functions only (so they pickle by reference), no
+state inherited from the parent beyond what :func:`initialize` re-applies.
+
+A trial task is addressed as ``"package.module:function"``; the worker
+imports the module and calls the function with the spec's kwargs.  The
+result travels back in a :class:`~repro.parallel.campaign.TrialResult`
+envelope — exceptions included, as strings, so a crashed trial never kills
+the pool.
+"""
+
+import importlib
+import os
+import time
+import traceback
+
+
+class TaskResolutionError(RuntimeError):
+    """A trial task string did not resolve to a callable."""
+
+
+def resolve_task(task):
+    """Import and return the callable named by ``"module:function"``."""
+    module_name, sep, attr = task.partition(":")
+    if not sep or not module_name or not attr:
+        raise TaskResolutionError(
+            f"trial task must look like 'package.module:function', got {task!r}"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise TaskResolutionError(f"cannot import {module_name!r}: {exc}") from exc
+    target = module
+    for part in attr.split("."):
+        try:
+            target = getattr(target, part)
+        except AttributeError:
+            raise TaskResolutionError(
+                f"{module_name!r} has no attribute {attr!r}"
+            ) from None
+    if not callable(target):
+        raise TaskResolutionError(f"{task!r} resolved to non-callable {target!r}")
+    return target
+
+
+def telemetry_snapshot():
+    """The parent's telemetry defaults, to be re-applied in each worker.
+
+    ``spawn`` starts from a clean interpreter, so module-level defaults the
+    parent set (e.g. via ``repro run --trace``) would silently reset to off
+    inside workers without this.
+    """
+    from repro.telemetry.spans import spans_enabled_by_default
+    from repro.telemetry.trace import tracing_enabled_by_default
+
+    return {
+        "tracing": tracing_enabled_by_default(),
+        "spans": spans_enabled_by_default(),
+    }
+
+
+def initialize(snapshot):
+    """Pool initializer: apply the parent's telemetry defaults."""
+    from repro.telemetry.spans import set_default_spans
+    from repro.telemetry.trace import set_default_tracing
+
+    set_default_tracing(snapshot.get("tracing", False))
+    set_default_spans(snapshot.get("spans", False))
+
+
+def run_trial(payload):
+    """Run one ``(index, TrialSpec)`` payload; always returns an envelope."""
+    # Imported here (not at module top) so the circular campaign <-> worker
+    # reference resolves the same way in parent and spawned child.
+    from repro.parallel.campaign import TrialResult
+
+    index, spec = payload
+    started = time.perf_counter()
+    value, error, tb = None, None, None
+    try:
+        fn = resolve_task(spec.task)
+        kwargs = dict(spec.kwargs)
+        if spec.seed is not None:
+            kwargs["seed"] = spec.seed
+        value = fn(**kwargs)
+    except Exception as exc:  # noqa: BLE001 - envelope carries the failure
+        error = f"{type(exc).__name__}: {exc}"
+        tb = traceback.format_exc()
+    return TrialResult(
+        index=index,
+        tag=spec.tag,
+        seed=spec.seed,
+        value=value,
+        elapsed_s=time.perf_counter() - started,
+        pid=os.getpid(),
+        error=error,
+        traceback=tb,
+    )

@@ -32,12 +32,22 @@ class Kernel:
         kernel.run(until=10.0)
     """
 
+    #: How many unhandled failed events are retained verbatim; beyond this
+    #: only ``unhandled_failure_count`` grows, so multi-hour simulated
+    #: campaigns cannot leak memory through a busy failure path.
+    UNHANDLED_RETENTION = 100
+
     def __init__(self):
         self._now = 0.0
         self._queue = []
         self._sequence = count()
         #: Failed events whose exception was never delivered to any process.
+        #: Only the first ``UNHANDLED_RETENTION`` are kept (debugging wants
+        #: the earliest failures); ``unhandled_failure_count`` counts all.
         self.unhandled_failures = []
+        self.unhandled_failure_count = 0
+        #: Total events processed by this kernel (steps taken).
+        self.events_processed = 0
         #: Structured event tracing for everything running on this kernel.
         #: Disabled unless telemetry's default says otherwise; instrumented
         #: components publish unconditionally and the bus no-ops.
@@ -80,6 +90,12 @@ class Kernel:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
 
+    def _record_unhandled(self, event):
+        """Remember a failed event nobody handled (bounded retention)."""
+        self.unhandled_failure_count += 1
+        if len(self.unhandled_failures) < self.UNHANDLED_RETENTION:
+            self.unhandled_failures.append(event)
+
     def peek(self):
         """Time of the next scheduled event, or ``INFINITY`` if none."""
         return self._queue[0][0] if self._queue else INFINITY
@@ -92,11 +108,12 @@ class Kernel:
         if when < self._now:
             raise SimulationError("event queue corrupted: time went backwards")
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
         if event._ok is False and not event.defused:
-            self.unhandled_failures.append(event)
+            self._record_unhandled(event)
 
     def run(self, until=None):
         """Run until the queue drains or the clock reaches ``until`` seconds.
@@ -109,17 +126,46 @@ class Kernel:
             raise SimulationError(
                 f"run(until={until}) but the clock is already at {self._now}"
             )
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                break
-            self.step()
+        # Inlined step() body: this loop is the single hottest path in the
+        # whole reproduction, so it avoids one method call, one emptiness
+        # re-check, and one counter store per event.  Scheduling never
+        # inserts into the past (enforced in _schedule/succeed/fail), and a
+        # binary heap pops in nondecreasing order, so the corruption check
+        # that step() performs cannot fire here and is elided.
+        queue = self._queue
+        pop = heapq.heappop
+        record = self._record_unhandled
+        steps = 0
+        if until is None:
+            while queue:
+                when, _seq, event = pop(queue)
+                self._now = when
+                steps += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event.defused:
+                    record(event)
+        else:
+            while queue and queue[0][0] <= until:
+                when, _seq, event = pop(queue)
+                self._now = when
+                steps += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event.defused:
+                    record(event)
+        self.events_processed += steps
         if until is not None:
             self._now = until
 
     def run_until_triggered(self, event, limit=None):
         """Run until ``event`` triggers; raises if the queue drains first.
 
-        ``limit`` optionally bounds the simulated time spent waiting.
+        ``limit`` optionally bounds the simulated time spent waiting; an
+        event scheduled exactly at ``t == limit`` still triggers (the
+        boundary is inclusive).
         """
         while not event.triggered:
             if not self._queue:

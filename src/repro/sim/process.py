@@ -3,7 +3,7 @@
 import inspect
 
 from repro.sim.errors import Interrupt, SimulationError
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
 
 
 class Process(Event):
@@ -21,6 +21,8 @@ class Process(Event):
     yield point.  This is the mechanism the microreboot machinery uses to
     kill shepherd threads executing inside a recycled component.
     """
+
+    __slots__ = ("_generator", "name", "_waiting_on")
 
     def __init__(self, kernel, generator, name=None):
         if not inspect.isgenerator(generator):
@@ -59,7 +61,7 @@ class Process(Event):
 
     def _resume(self, trigger):
         """Advance the generator with the triggered event ``trigger``."""
-        if self.triggered:
+        if self._value is not _PENDING:  # i.e. self.triggered, sans property
             # The process already finished (e.g. an interrupt raced with the
             # event it was waiting for); drop the stale wakeup.
             return

@@ -127,13 +127,17 @@ class EmulatedClient:
             issued_at=self.kernel.now,
             functional_group=group,
         )
+        # ``enabled`` is checked here rather than inside publish() so the
+        # disabled (default) case does not even build the kwargs dict —
+        # this path runs once per request.
         trace = self.kernel.trace
-        trace.publish(
-            "request.start",
-            client=self.client_id,
-            operation=op_name,
-            url=request.url,
-        )
+        if trace.enabled:
+            trace.publish(
+                "request.start",
+                client=self.client_id,
+                operation=op_name,
+                url=request.url,
+            )
         response = yield from self._issue(request, record)
         record.completed_at = self.kernel.now
         record.response_time = record.completed_at - record.issued_at
@@ -154,28 +158,30 @@ class EmulatedClient:
                 failure=failure.value if failure is not None else None,
             )
 
-        trace.publish(
-            "request.end",
-            client=self.client_id,
-            operation=op_name,
-            ok=failure is None,
-            duration=record.response_time,
-            failure=failure.value if failure is not None else None,
-            retries=record.retries,
-        )
+        if trace.enabled:
+            trace.publish(
+                "request.end",
+                client=self.client_id,
+                operation=op_name,
+                ok=failure is None,
+                duration=record.response_time,
+                failure=failure.value if failure is not None else None,
+                retries=record.retries,
+            )
         if failure is None:
             record.ok = True
             self._absorb_success(op_name, response, context)
         else:
             record.failure_kind = failure.value
             self._absorb_failure(response)
-            trace.publish(
-                "detector.report",
-                client=self.client_id,
-                failure=failure.value,
-                url=request.url,
-                reported=self.reporter is not None,
-            )
+            if trace.enabled:
+                trace.publish(
+                    "detector.report",
+                    client=self.client_id,
+                    failure=failure.value,
+                    url=request.url,
+                    reported=self.reporter is not None,
+                )
             if self.reporter is not None:
                 self.reporter(
                     FailureReport(

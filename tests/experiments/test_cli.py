@@ -38,9 +38,18 @@ def test_run_experiment_handles_signatures():
     assert result.rows
 
 
-def test_unknown_experiment_rejected():
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["run", "nope"])
+def test_unknown_experiment_exits_nonzero_with_one_line_error(capsys):
+    # Same error contract as the trace/paths subcommands: exit code 2 and a
+    # single "error: ..." line on stderr, never a traceback or usage dump.
+    assert main(["run", "nope"]) == 2
+    captured = capsys.readouterr()
+    assert captured.err == "error: unknown experiment: nope (see 'repro list')\n"
+    assert captured.out == ""
+
+
+def test_run_experiment_raises_on_unknown_name():
+    with pytest.raises(ValueError, match="unknown experiment: 'nope'"):
+        run_experiment("nope")
 
 
 def test_parser_flags():
@@ -48,3 +57,18 @@ def test_parser_flags():
         ["run", "figure1", "--quick", "--seed", "9"]
     )
     assert args.quick and args.seed == 9 and not args.full
+    assert args.jobs == 1
+
+
+def test_parser_jobs_flag():
+    args = build_parser().parse_args(["run", "table2", "--jobs", "4"])
+    assert args.jobs == 4
+
+
+def test_trace_forces_sequential_run(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    assert main(["run", "availability", "--jobs", "4",
+                 "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "--trace forces --jobs 1" in out
+    assert trace.exists()
