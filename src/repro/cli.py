@@ -38,6 +38,7 @@ from repro.telemetry import (
 
 from repro.experiments import (
     availability,
+    chaos,
     figure1,
     figure2,
     figure3,
@@ -68,6 +69,7 @@ EXPERIMENTS = {
     "figure6": (figure6, "Microrejuvenation"),
     "availability": (availability, "Six-nines recovery allowances"),
     "pathdiag": (path_diagnosis, "Static-map vs path-analysis diagnosis"),
+    "chaos": (chaos, "Correlated-fault chaos: seed vs hardened pipeline"),
 }
 
 

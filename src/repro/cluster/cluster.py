@@ -42,6 +42,7 @@ def build_cluster(
     dataset=None,
     timing=None,
     retry_policy=None,
+    hardening=None,
 ):
     """Build an ``n_nodes`` cluster sharing one database (and SSM, if used).
 
@@ -71,7 +72,9 @@ def build_cluster(
         )
         nodes.append(Node(system))
 
-    load_balancer = LoadBalancer(kernel, nodes, url_path_map=URL_PATH_MAP)
+    load_balancer = LoadBalancer(
+        kernel, nodes, url_path_map=URL_PATH_MAP, hardening=hardening
+    )
     return Cluster(
         kernel=kernel,
         rng=rng,

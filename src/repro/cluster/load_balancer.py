@@ -10,11 +10,29 @@ session affinity."  During a recovery the balancer supports three schemes:
   recovering component(s) are redirected;
 * ``NONE``: requests keep flowing to the recovering node (the paper's
   "µRB without failover", which Figure 1's averages favour).
+
+With a :class:`~repro.core.hardening.HardeningPolicy` enabled, the
+balancer additionally practices graceful degradation: it watches each
+node's forwarded-response latency and forward failures, marks nodes
+*degraded*, routes fresh (cookie-less, non-session-critical) requests away
+from them, and — when every node is degraded — sheds those requests with a
+fast ``503 Retry-After`` instead of queueing them behind a slowdown.
+Session-critical requests always keep flowing: affinity outranks shedding.
+
+The balancer is also a chaos injection surface: :meth:`inject_link_fault`
+degrades the LB→node link (extra forward delay and/or a drop probability),
+which clients observe as slow responses and network errors.
 """
 
 import enum
 
+from repro.appserver.http import HttpResponse, HttpStatus
+from repro.core.hardening import HardeningPolicy
 from repro.telemetry.metrics import MetricsRegistry
+
+
+class LinkDropError(Exception):
+    """The (chaos-degraded) LB→node link dropped a forwarded request."""
 
 
 class FailoverMode(enum.Enum):
@@ -26,10 +44,15 @@ class FailoverMode(enum.Enum):
 class LoadBalancer:
     """Routes client requests to cluster nodes."""
 
-    def __init__(self, kernel, nodes, url_path_map=None, metrics=None):
+    def __init__(
+        self, kernel, nodes, url_path_map=None, metrics=None, hardening=None
+    ):
         self.kernel = kernel
         self.nodes = list(nodes)
         self.url_path_map = dict(url_path_map or {})
+        self.hardening = (
+            hardening if hardening is not None else HardeningPolicy.disabled()
+        )
         self._affinity = {}  # cookie -> node
         #: Shared round-robin cursor over the *stable* ``self.nodes`` order.
         #: Never modded by a shifting candidate-list length: during failover
@@ -46,6 +69,20 @@ class LoadBalancer:
         self._failed_over = self.metrics.counter("lb.requests.failed_over")
         self._forward_failures = self.metrics.counter("lb.forward.failures")
         self.sessions_failed_over = set()
+        #: node name -> (delay seconds, drop probability, rng) chaos faults.
+        self._link_faults = {}
+        self._link_dropped = self.metrics.counter("lb.link.dropped")
+        #: Graceful-degradation state (active only when hardening enables
+        #: ``shed_degraded``): recent per-node latency samples, recent
+        #: forward-failure times, and degraded-until marks.
+        self._latency = {}
+        self._fail_times = {}
+        self._degraded_until = {}
+        #: node name -> why it was last marked degraded ("latency",
+        #: "failures", or an external reason from :meth:`note_degraded`).
+        self._degraded_reason = {}
+        self._shed = self.metrics.counter("lb.requests.shed")
+        self._degraded_marks = self.metrics.counter("lb.degraded.marks")
 
     @property
     def requests_routed(self):
@@ -58,6 +95,27 @@ class LoadBalancer:
     @property
     def forward_failures(self):
         return int(self._forward_failures.value)
+
+    @property
+    def requests_shed(self):
+        return int(self._shed.value)
+
+    # ------------------------------------------------------------------
+    # Chaos injection surface: LB → node link faults
+    # ------------------------------------------------------------------
+    def inject_link_fault(self, node, delay=0.0, drop_rate=0.0, rng=None):
+        """Degrade the link to ``node``: extra delay and/or dropped forwards."""
+        if drop_rate > 0 and rng is None:
+            raise ValueError("drop_rate needs an rng for the drop draws")
+        self._link_faults[node.name] = (delay, drop_rate, rng)
+        self.kernel.trace.publish(
+            "lb.link.fault", node=node.name, delay=delay, drop_rate=drop_rate
+        )
+
+    def clear_link_fault(self, node):
+        """The link to ``node`` heals."""
+        if self._link_faults.pop(node.name, None) is not None:
+            self.kernel.trace.publish("lb.link.heal", node=node.name)
 
     # ------------------------------------------------------------------
     # Recovery coordination (the RM notifies us, §5.3)
@@ -80,6 +138,16 @@ class LoadBalancer:
     def recovering_nodes(self):
         return set(self._recovering)
 
+    def node_for_session(self, cookie):
+        """The node holding ``cookie``'s session affinity, or None.
+
+        Cluster rigs use this to deliver a failure report to the recovery
+        manager of the node that actually served the failing client.
+        """
+        if not cookie:
+            return None
+        return self._affinity.get(cookie)
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
@@ -90,6 +158,20 @@ class LoadBalancer:
             self.span_collector.attach(request)
         node = self._route(request)
         done = self.kernel.event()
+        if node is None:
+            # Graceful degradation: every node is degraded, so queueing this
+            # non-session request behind the slowdown would only deepen it.
+            # Answer a fast 503 instead; Retry-After pushes the client past
+            # the degraded window.
+            self._shed.inc()
+            self.kernel.trace.publish("lb.shed", url=request.url)
+            return done.succeed(
+                HttpResponse(
+                    status=HttpStatus.SERVICE_UNAVAILABLE,
+                    body="<html>error: service degraded, retry later</html>",
+                    retry_after=self.hardening.shed_retry_after,
+                )
+            )
         self.kernel.process(
             self._forward(node, request, done),
             name=f"lb-{request.request_id}",
@@ -97,6 +179,22 @@ class LoadBalancer:
         return done
 
     def _forward(self, node, request, done):
+        started = self.kernel.now
+        fault = self._link_faults.get(node.name)
+        if fault is not None:
+            delay, drop_rate, rng = fault
+            if delay > 0:
+                yield self.kernel.timeout(delay)
+            if drop_rate > 0 and rng.random() < drop_rate:
+                # The connection dies mid-flight; the client observes a
+                # network error, its strongest failure signal.
+                self._link_dropped.inc()
+                self._note_forward_failure(node)
+                self.kernel.trace.publish(
+                    "lb.link.drop", node=node.name, url=request.url
+                )
+                done.fail(LinkDropError(f"link to {node.name} dropped request"))
+                return
         try:
             response = yield node.server.handle_request(request)
         except Exception as exc:  # noqa: BLE001 - propagate, never hang
@@ -104,6 +202,7 @@ class LoadBalancer:
             # client would wait on it forever and Taw would never account
             # the request.
             self._forward_failures.inc()
+            self._note_forward_failure(node)
             self.kernel.trace.publish(
                 "lb.forward.error",
                 node=node.name,
@@ -112,6 +211,7 @@ class LoadBalancer:
             )
             done.fail(exc)
             return
+        self._note_latency(node, self.kernel.now - started)
         cookie = (response.payload or {}).get("cookie")
         if cookie:
             self._affinity[cookie] = node
@@ -120,9 +220,29 @@ class LoadBalancer:
     def _route(self, request):
         node = self._affinity.get(request.cookie) if request.cookie else None
         if node is None:
-            return self._next_good_node()
+            # Cookie-less requests carry no session state: they may be
+            # routed anywhere, away from degraded nodes, or shed (None).
+            return self._fresh_node(request)
         redirect = self._recovering.get(node.name)
         if redirect is None:
+            if self._shedding() and node.name in self.degraded_nodes():
+                # Session state lives in the external store, so a session
+                # pinned to a degraded (slow or link-flaky) node can be
+                # served anywhere: route around the degradation instead
+                # of queueing behind it — failover without a reboot.
+                # ``_fresh_node`` skips degraded nodes, so this stays put
+                # (returns the pinned node) when nowhere is healthier.
+                target = self._fresh_node(request)
+                if target is not None and target is not node:
+                    self._failed_over.inc()
+                    self.sessions_failed_over.add(request.cookie)
+                    self.kernel.trace.publish(
+                        "lb.degraded.reroute",
+                        url=request.url,
+                        from_node=node.name,
+                        to_node=target.name,
+                    )
+                    return target
             return node
         mode, components = redirect
         if mode is FailoverMode.NONE:
@@ -132,7 +252,7 @@ class LoadBalancer:
         self._failed_over.inc()
         if request.cookie:
             self.sessions_failed_over.add(request.cookie)
-        target = self._next_good_node(exclude=node)
+        target = self._next_good_node(exclude=node, request=request)
         trace = self.kernel.trace
         if trace.enabled:  # hoisted: one publish per redirected request
             trace.publish(
@@ -155,15 +275,129 @@ class LoadBalancer:
         path = self.url_path_map.get(best, ())
         return bool(set(path) & components)
 
-    def _next_good_node(self, exclude=None):
+    # ------------------------------------------------------------------
+    # Graceful degradation (hardening)
+    # ------------------------------------------------------------------
+    def _shedding(self):
+        return self.hardening.enabled and self.hardening.shed_degraded
+
+    def degraded_nodes(self):
+        """Names of nodes currently marked degraded."""
+        now = self.kernel.now
+        return {
+            name for name, until in self._degraded_until.items() if until > now
+        }
+
+    def _note_latency(self, node, elapsed):
+        if not self._shedding():
+            return
+        samples = self._latency.setdefault(node.name, [])
+        samples.append(elapsed)
+        if len(samples) > self.hardening.latency_samples:
+            del samples[0]
+        if (
+            len(samples) >= self.hardening.latency_samples
+            and sum(samples) / len(samples) > self.hardening.shed_latency
+        ):
+            self._mark_degraded(node.name, "latency")
+
+    def _note_forward_failure(self, node):
+        if not self._shedding():
+            return
+        horizon = self.kernel.now - self.hardening.degraded_ttl
+        times = [
+            t for t in self._fail_times.get(node.name, ()) if t >= horizon
+        ]
+        times.append(self.kernel.now)
+        self._fail_times[node.name] = times
+        if len(times) >= self.hardening.shed_failure_threshold:
+            self._mark_degraded(node.name, "failures")
+
+    def note_degraded(self, node, reason, ttl=None):
+        """External evidence (e.g. the RM deferring a node-wide recovery
+        on backoff) that ``node`` is sick: route around it for ``ttl``
+        seconds (default ``degraded_ttl``)."""
+        if self._shedding():
+            self._mark_degraded(node.name, reason, ttl=ttl)
+
+    def _mark_degraded(self, name, reason, ttl=None):
+        now = self.kernel.now
+        if ttl is None or ttl <= 0:
+            ttl = self.hardening.degraded_ttl
+        fresh = self._degraded_until.get(name, 0.0) <= now
+        self._degraded_until[name] = max(
+            self._degraded_until.get(name, 0.0), now + ttl
+        )
+        self._degraded_reason[name] = reason
+        if fresh:
+            self._degraded_marks.inc()
+            self.kernel.trace.publish(
+                "lb.degraded", node=name, reason=reason,
+                until=self._degraded_until[name],
+            )
+        return self._degraded_until[name]
+
+    def _eligible(self, node, request=None):
+        """May ``request`` be routed to ``node`` despite recovery windows?
+
+        A node in FULL failover takes nothing; a node in MICRO failover
+        (a µRB, or a long-lived component quarantine) stays eligible for
+        requests that never touch the recovering components — excluding
+        it wholesale would turn every quarantine into a node outage.
+        """
+        entry = self._recovering.get(node.name)
+        if entry is None:
+            return True
+        mode, components = entry
+        if mode is FailoverMode.NONE:
+            return True
+        if mode is FailoverMode.MICRO and request is not None:
+            return not self._touches(request, components)
+        return False
+
+    def _fresh_node(self, request=None):
+        """Node for a cookie-less request, or None to shed it.
+
+        Honours degraded marks on top of the recovering-node rules; the
+        rotation cursor is shared with :meth:`_next_good_node` so the
+        round-robin spread stays coherent.
+        """
+        if not self._shedding():
+            return self._next_good_node(request=request)
+        degraded = self.degraded_nodes()
+        if not degraded:
+            return self._next_good_node(request=request)
         candidates = [
             node
             for node in self.nodes
-            if node is not exclude
-            and not (
-                node.name in self._recovering
-                and self._recovering[node.name][0] is not FailoverMode.NONE
-            )
+            if node.name not in degraded and self._eligible(node, request)
+        ]
+        if not candidates:
+            # Everywhere is degraded, so the marks carry no routing
+            # information.  Shed (fast 503) only when every node is
+            # *latency*-degraded — queueing more requests behind a
+            # cluster-wide slowdown deepens it.  For failure- or
+            # deferral-driven marks, refusing service is strictly worse
+            # than trying a node: route normally, best effort.
+            if all(
+                self._degraded_reason.get(name) == "latency"
+                for name in degraded
+            ):
+                return None
+            return self._next_good_node(request=request)
+        eligible = {id(node) for node in candidates}
+        for _ in range(len(self.nodes)):
+            node = self.nodes[self._round_robin % len(self.nodes)]
+            self._round_robin += 1
+            if id(node) in eligible:
+                return node
+        return candidates[0]
+
+    def _next_good_node(self, exclude=None, request=None):
+        candidates = [
+            node
+            for node in self.nodes
+            if node is not exclude and self._eligible(node, request)
         ]
         if not candidates:
             candidates = [n for n in self.nodes if n is not exclude] or self.nodes

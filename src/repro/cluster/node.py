@@ -18,6 +18,9 @@ class Node:
         self.os_leaked = 0
         self.os_reboots = 0
         self.jvm_restarts = 0
+        #: CPU hogs injected by chaos campaigns (external processes on the
+        #: node stealing cycles from the JVM).
+        self.slowdown_hogs = 0
 
     @property
     def name(self):
@@ -49,6 +52,32 @@ class Node:
             self.server.accept_fault = "ENOMEM: node out of memory"
 
     # ------------------------------------------------------------------
+    # Node-level slowdown (chaos fault)
+    # ------------------------------------------------------------------
+    def inject_slowdown(self, hogs=2):
+        """Another process on this node starts hogging the CPU.
+
+        Each hog stretches every request's service time like a runaway
+        thread — except it lives *outside* the JVM, so no microreboot or
+        JVM restart cures it (an OS reboot kills the process).
+        """
+        for _ in range(hogs):
+            self.server.cpu.add_hog()
+        self.slowdown_hogs += hogs
+        self.kernel.trace.publish(
+            "node.slowdown", node=self.name, hogs=self.slowdown_hogs
+        )
+
+    def clear_slowdown(self):
+        """The hogging process exits (chaos heal or OS reboot)."""
+        if self.slowdown_hogs <= 0:
+            return
+        for _ in range(self.slowdown_hogs):
+            self.server.cpu.remove_hog()
+        self.slowdown_hogs = 0
+        self.kernel.trace.publish("node.slowdown.clear", node=self.name)
+
+    # ------------------------------------------------------------------
     # Recovery actions (the node_controller protocol)
     # ------------------------------------------------------------------
     def restart_jvm(self):
@@ -75,6 +104,7 @@ class Node:
         self.server.kill()
         yield self.kernel.timeout(self.server.timing.os_reboot_time)
         self.os_leaked = 0
+        self.clear_slowdown()  # the hogging processes died with the OS
         yield from self.server.boot(cold=True)
         self.kernel.trace.publish(
             "node.restart.end", node=self.name, action="os",

@@ -16,6 +16,7 @@
   delay).
 """
 
+from repro.core.hardening import HardeningPolicy, RecoveryStormLimiter
 from repro.core.microcheckpoint import MicrocheckpointStore
 from repro.core.microreboot import MicrorebootCoordinator, RebootEvent
 from repro.core.recovery_groups import compute_recovery_groups
@@ -31,11 +32,13 @@ from repro.core.retry import RetryPolicy
 __all__ = [
     "FailureKind",
     "FailureReport",
+    "HardeningPolicy",
     "MicrocheckpointStore",
     "MicrorebootCoordinator",
     "RebootEvent",
     "RecoveryAction",
     "RecoveryManager",
+    "RecoveryStormLimiter",
     "RejuvenationService",
     "RetryPolicy",
     "compute_recovery_groups",

@@ -26,6 +26,7 @@ stays the default so the paper's Table 1–4 experiments reproduce unchanged.
 import enum
 from dataclasses import dataclass
 
+from repro.core.hardening import HardeningPolicy
 from repro.diagnosis.path_analysis import PathAnalyzer
 from repro.sim.resources import Queue
 from repro.telemetry.metrics import MetricsRegistry
@@ -53,6 +54,9 @@ class FailureReport:
     kind: FailureKind
     detail: str = ""
     client_id: int = 0
+    #: Session cookie of the failing client, when it had one: lets a
+    #: cluster rig attribute the report to the node holding that session.
+    cookie: str = None
 
 
 @dataclass
@@ -74,6 +78,12 @@ class RecoveryAction:
 
 #: The recursive policy's escalation ladder (§4).
 LEVELS = ("ejb", "war", "application", "jvm", "os", "human")
+
+#: Levels whose recovery disrupts the entire node.  For backoff accounting
+#: they share one key: an application restart followed immediately by a JVM
+#: restart followed by an OS reboot is one node being recycled three times,
+#: not three independent recoveries.
+NODE_WIDE_LEVELS = ("application", "jvm", "os")
 
 
 class RecoveryManager:
@@ -97,6 +107,8 @@ class RecoveryManager:
         metrics=None,
         diagnosis="static-map",
         path_analyzer=None,
+        hardening=None,
+        storm_limiter=None,
     ):
         if policy not in ("recursive", "process-restart"):
             raise ValueError(f"unknown recovery policy {policy!r}")
@@ -149,6 +161,20 @@ class RecoveryManager:
         self._action_errors = self.metrics.counter("rm.actions.errors")
         self._diagnosis_by_mode = self.metrics.family("rm.diagnosis.by_mode")
 
+        #: Pipeline hardening (off by default — the paper's pipeline).
+        self.hardening = hardening if hardening is not None else HardeningPolicy.disabled()
+        #: Shared cluster-wide limiter, or None (no storm limiting).
+        self.storm_limiter = storm_limiter
+        #: backoff key (component name or level) -> recent recovery times.
+        self._recovery_history = {}
+        #: backoff key -> simulated time before which it may not recover.
+        self._backoff_until = {}
+        #: component -> quarantine expiry time.
+        self.quarantined = {}
+        self._backoff_deferred = self.metrics.counter("rm.backoff.deferred")
+        self._quarantines = self.metrics.counter("rm.quarantine.count")
+        self._reports_quarantined = self.metrics.counter("rm.reports.quarantined")
+
         #: "static-map" (the paper's §4 diagnosis) or "path-analysis"
         #: (Pinpoint-style ranking fed by the span layer).
         self.diagnosis = diagnosis
@@ -166,11 +192,26 @@ class RecoveryManager:
         self.recovering = False
         self._last_action_end = None
         self._last_level_index = -1
+        self._last_action_ok = True
         self._tried_this_incident = set()
         self._process = None
         #: Observers called with each completed RecoveryAction (the load
         #: balancer hooks in here for failover coordination, §5.3).
         self.listeners = []
+        #: Observers called with each RecoveryAction *before* it executes
+        #: (cluster rigs open the failover window here).
+        self.begin_listeners = []
+        #: Observers called as ``listener(component, active_set)`` when a
+        #: quarantine begins or lifts; cluster rigs steer requests for
+        #: quarantined components to healthy nodes (§6.1 microfailover).
+        self.quarantine_listeners = []
+        #: Observers called as ``listener(reason, level, targets, ttl)``
+        #: when a recovery is deferred (backoff/storm).  A deferred
+        #: node-wide recovery means "this node is sick but rebooting it
+        #: again now would hurt more" — cluster rigs tell the load
+        #: balancer to route around the node for the backoff's remainder
+        #: (the ``ttl``).
+        self.defer_listeners = []
 
     # ------------------------------------------------------------------
     # Wiring
@@ -323,6 +364,18 @@ class RecoveryManager:
                     # produces one login prompt per client; give the
                     # population time to re-log-in before reacting.
                     continue
+            if self.quarantined and self._explained_by_quarantine(report):
+                # The failure is already explained: a quarantined (flapping)
+                # component sits on the failed URL's path and is answering
+                # fast 503s by design.  Feeding the report into the scores
+                # would just re-trigger the reboot loop quarantine exists
+                # to break.
+                self._reports_quarantined.inc()
+                self.kernel.trace.publish(
+                    "rm.report.quarantined", url=report.url,
+                    failure=report.kind.value,
+                )
+                continue
             self._score(report)
             if self._should_act(report):
                 yield from self._recover(report)
@@ -354,9 +407,15 @@ class RecoveryManager:
             return 0
         if (
             self._last_level_index <= 0
+            # An errored µRB is evidence the fine-grained machinery itself
+            # is hurt; coarsen instead of retrying at the same grain.
+            and self._last_action_ok
             and self._ejb_attempts_this_incident < self.max_ejb_attempts
             and report.kind is not FailureKind.RESOURCE_EXHAUSTION
-            and self._candidate(self._tried_this_incident) is not None
+            and self._candidate(
+                self._tried_this_incident | self.active_quarantines()
+            )
+            is not None
         ):
             return 0
         return min(self._last_level_index + 1, len(LEVELS) - 1)
@@ -370,23 +429,72 @@ class RecoveryManager:
             level_index = self._next_level_index(now, report)
         level = LEVELS[level_index]
         target = ()
+        candidate = None
+        hardening = self.hardening
 
         if level == "ejb":
+            quarantined = self.active_quarantines()
+            exclude = self._tried_this_incident | quarantined
             if report.kind is FailureKind.RESOURCE_EXHAUSTION:
                 candidate = self._biggest_leaker()
-                if candidate in self._tried_this_incident:
+                if candidate is not None and self._in_backoff(candidate, now):
+                    self._flap_strike(candidate)
+                    return self._defer("backoff", level, (candidate,))
+                if candidate in exclude:
                     candidate = None
             else:
-                candidate = self._candidate(
-                    self._tried_this_incident, record=True
-                )
+                candidate = self._candidate(exclude, record=True)
+                if (
+                    hardening.enabled
+                    and candidate is not None
+                    and self._in_backoff(candidate, now)
+                ):
+                    # The chosen target is still inside its backoff: wait
+                    # it out rather than recycling the component.
+                    self._flap_strike(candidate)
+                    return self._defer("backoff", level, (candidate,))
             if candidate is None:
                 level_index += 1
                 level = LEVELS[level_index]
-            else:
-                target = tuple(self.coordinator.expand_targets([candidate]))
-                self._tried_this_incident |= set(target)
-                self._ejb_attempts_this_incident += 1
+
+        if (
+            hardening.enabled
+            and level == "war"
+            and report.kind is not FailureKind.RESOURCE_EXHAUSTION
+        ):
+            # About to coarsen beyond single-component µRBs — but when the
+            # hottest candidate overall (tried this incident or not) is a
+            # component we recently recovered and it is still in backoff,
+            # the recovery evidently did not stick.  That is flap
+            # evidence: grounds for waiting (and eventually quarantining
+            # the flapper), not for escalating to a far more disruptive
+            # level.
+            hot = self._candidate(self.active_quarantines())
+            if hot is not None and self._in_backoff(hot, now):
+                self._flap_strike(hot)
+                return self._defer("backoff", level, (hot,))
+
+        if hardening.enabled and level not in ("ejb", "human"):
+            key = "node" if level in NODE_WIDE_LEVELS else level
+            if now < self._backoff_until.get(key, 0.0):
+                # A coarse recovery just ran (or was recently deferred):
+                # give the node room to breathe — and external trouble
+                # (a flaky LB link, a slow disk) time to pass — before
+                # recycling it at an even coarser grain.
+                return self._defer("backoff", level, ())
+
+        if (
+            self.storm_limiter is not None
+            and level != "human"
+            and not self.storm_limiter.admit(who=self.server.name)
+        ):
+            return self._defer("storm", level, ())
+        admitted = self.storm_limiter is not None and level != "human"
+
+        if level == "ejb":
+            target = tuple(self.coordinator.expand_targets([candidate]))
+            self._tried_this_incident |= set(target)
+            self._ejb_attempts_this_incident += 1
 
         action = RecoveryAction(
             decided_at=now, level=level, target=target, trigger=report.kind
@@ -398,6 +506,8 @@ class RecoveryManager:
             trigger=report.kind.value,
         )
         self.recovering = True
+        for listener in self.begin_listeners:
+            listener(action)
         try:
             if level == "ejb":
                 yield from self.coordinator.microreboot(list(target))
@@ -422,6 +532,12 @@ class RecoveryManager:
             # escalation ladder then tries the next-coarser level.
             action.error = f"{type(exc).__name__}: {exc}"
             self._action_errors.inc()
+            # The incident-attempt state must not survive a raised action
+            # either: a stale ``_tried_this_incident`` would keep excluding
+            # candidates that were never actually recovered, wedging the
+            # ladder at a level whose action cannot complete.
+            self._tried_this_incident = set()
+            self._ejb_attempts_this_incident = 0
         finally:
             self.recovering = False
             action.finished_at = self.kernel.now
@@ -429,6 +545,7 @@ class RecoveryManager:
             self._actions_by_level.inc(level)
             self._last_action_end = action.finished_at
             self._last_level_index = level_index
+            self._last_action_ok = action.ok
             self.scores = {}
             self._recent_reports = []
             if self.path_analyzer is not None:
@@ -445,8 +562,174 @@ class RecoveryManager:
                 duration=action.finished_at - action.decided_at,
             )
             self._check_recurring()
+            if admitted:
+                self.storm_limiter.release()
+            if hardening.enabled and level != "human":
+                self._note_recovery(level, action)
             for listener in self.listeners:
                 listener(action)
+
+    # ------------------------------------------------------------------
+    # Hardening: backoff, flap quarantine, storm deferral
+    # ------------------------------------------------------------------
+    def _defer(self, reason, level, targets):
+        """Skip this recovery without acting or mutating incident state.
+
+        The failure scores survive untouched, so the recovery is retried
+        on the next report once the backoff lapses or the storm window
+        frees up — deferred, not cancelled.
+        """
+        if reason == "backoff":
+            self._backoff_deferred.inc()
+        self.kernel.trace.publish(
+            "rm.recovery.deferred",
+            reason=reason,
+            level=level,
+            targets=tuple(targets),
+        )
+        # How long the deferral holds: listeners (e.g. the LB routing
+        # around a sick node) should not give up before the RM is even
+        # allowed to act again.
+        ttl = 0.0
+        if reason == "backoff":
+            if level == "ejb" and targets:
+                keys = tuple(targets)
+            elif level in NODE_WIDE_LEVELS:
+                keys = ("node",)
+            else:
+                keys = (level,)
+            until = max(
+                (self._backoff_until.get(key, 0.0) for key in keys),
+                default=0.0,
+            )
+            ttl = max(0.0, until - self.kernel.now)
+        for listener in self.defer_listeners:
+            listener(reason, level, tuple(targets), ttl)
+        return None
+
+    def active_quarantines(self):
+        """Components currently quarantined (read-only; no pruning)."""
+        now = self.kernel.now
+        return {
+            name for name, until in self.quarantined.items() if until > now
+        }
+
+    def _in_backoff(self, key, now):
+        return self.hardening.enabled and now < self._backoff_until.get(key, 0.0)
+
+    def _explained_by_quarantine(self, report):
+        """True when a quarantined component sits on the report's path."""
+        active = self.active_quarantines()
+        if not active:
+            return False
+        return bool(active & set(self.path_for_url(report.url)))
+
+    def _record_repeat(self, key, at, level="ejb"):
+        """Count one flap/backoff repeat for ``key``; returns the count.
+
+        Each repeat inside ``flap_window`` extends the key's backoff
+        exponentially.
+        """
+        hardening = self.hardening
+        horizon = at - hardening.flap_window
+        history = [
+            t for t in self._recovery_history.get(key, ()) if t >= horizon
+        ]
+        history.append(at)
+        self._recovery_history[key] = history
+        repeats = len(history)
+        backoff = min(
+            hardening.backoff_max,
+            hardening.backoff_base * hardening.backoff_factor ** (repeats - 1),
+        )
+        self._backoff_until[key] = at + backoff
+        self.kernel.trace.publish(
+            "rm.backoff.set",
+            target=key,
+            level=level,
+            until=at + backoff,
+            repeats=repeats,
+        )
+        return repeats
+
+    def _flap_strike(self, name):
+        """A target still in backoff is wanted again: count flap evidence.
+
+        Debounced (``flap_debounce``) so one burst of failure reports
+        registers as a single pulse; enough distinct pulses within
+        ``flap_window`` quarantine the target.
+        """
+        now = self.kernel.now
+        history = self._recovery_history.get(name, ())
+        if history and now - history[-1] < self.hardening.flap_debounce:
+            return
+        repeats = self._record_repeat(name, now)
+        if (
+            repeats >= self.hardening.flap_threshold
+            and name not in self.active_quarantines()
+            and name in self.server.containers
+        ):
+            self._quarantine(name, now)
+
+    def _note_recovery(self, level, action):
+        """Record a finished recovery for backoff and flap accounting.
+
+        EJB-level actions are keyed per component (the whole expanded
+        recovery group); node-wide actions share the ``"node"`` key; the
+        WAR level is keyed by its level string — so a node that keeps
+        being recycled backs off exactly like a component that keeps
+        flapping.
+        """
+        finished = action.finished_at
+        if level == "ejb" and action.target:
+            keys = list(action.target)
+        elif level in NODE_WIDE_LEVELS:
+            keys = ["node"]
+        else:
+            keys = [level]
+        for key in keys:
+            repeats = self._record_repeat(key, finished, level=level)
+            if (
+                level == "ejb"
+                and repeats >= self.hardening.flap_threshold
+                and key not in self.active_quarantines()
+                and key in self.server.containers
+            ):
+                self._quarantine(key, finished)
+
+    def _quarantine(self, name, now):
+        """Flap detected: park ``name`` behind a fast-503 sentinel.
+
+        Requests that would invoke the component get an immediate
+        ``Retry-After`` answer (no threads killed, no transactions
+        aborted), and reports explained by the quarantine are suppressed,
+        breaking the reboot loop for ``quarantine_ttl`` seconds.
+        """
+        until = now + self.hardening.quarantine_ttl
+        self.quarantined[name] = until
+        self._quarantines.inc()
+        retry_after = getattr(self.coordinator.retry_policy, "retry_after", 2.0)
+        self.server.naming.bind_sentinel(name, retry_after)
+        self.kernel.trace.publish(
+            "rm.quarantine.begin", component=name, until=until
+        )
+        self.kernel.process(
+            self._lift_quarantine(name, until), name=f"quarantine-lift-{name}"
+        )
+        for listener in self.quarantine_listeners:
+            listener(name, self.active_quarantines())
+
+    def _lift_quarantine(self, name, until):
+        """Generator: restore the component's binding at quarantine expiry."""
+        yield self.kernel.timeout(max(0.0, until - self.kernel.now))
+        if self.quarantined.get(name) != until:
+            return  # re-quarantined meanwhile; that process owns the lift
+        del self.quarantined[name]
+        if self.server.naming.is_sentinel(name) and name in self.server.containers:
+            self.server.naming.bind(name, name)
+        self.kernel.trace.publish("rm.quarantine.end", component=name)
+        for listener in self.quarantine_listeners:
+            listener(name, self.active_quarantines())
 
     def _restart_jvm(self):
         if self.node_controller is not None:

@@ -31,6 +31,24 @@ class RetryPolicy:
     max_retries: int = 3
     drain_delay: float = 0.0
 
+    def __post_init__(self):
+        # A policy with nonsensical knobs does not fail at construction
+        # time on its own — it misbehaves mid-run (negative timeouts
+        # scheduled in the kernel, clients looping forever), which is far
+        # harder to diagnose.  Reject it here instead.
+        if self.retry_after < 0:
+            raise ValueError(
+                f"retry_after must be >= 0 seconds, got {self.retry_after!r}"
+            )
+        if self.drain_delay < 0:
+            raise ValueError(
+                f"drain_delay must be >= 0 seconds, got {self.drain_delay!r}"
+            )
+        if self.max_retries < 1:
+            raise ValueError(
+                f"max_retries must be a positive count, got {self.max_retries!r}"
+            )
+
     @classmethod
     def disabled(cls):
         """The paper's baseline: no masking."""

@@ -20,6 +20,7 @@ presentation.  ``EXPERIMENTS.md`` records paper-versus-measured values.
 | Figure 5 (lax detection)              | :mod:`repro.experiments.figure5` |
 | Figure 6 (microrejuvenation)          | :mod:`repro.experiments.figure6` |
 | §5.3/§6.1 six-nines arithmetic        | :mod:`repro.experiments.availability` |
+| Chaos: seed vs hardened pipeline      | :mod:`repro.experiments.chaos` |
 """
 
 from repro.experiments.common import ExperimentResult, SingleNodeRig

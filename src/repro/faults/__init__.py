@@ -13,8 +13,17 @@ and a microreboot cures them only because it genuinely discards and
 reconstructs that state.
 """
 
+from repro.faults.chaos import ChaosEngine, ChaosEvent, ChaosSpec
 from repro.faults.corruption import CorruptionMode
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import FaultInjector, InjectedFault
 from repro.faults.lowlevel import LowLevelInjector
 
-__all__ = ["CorruptionMode", "FaultInjector", "LowLevelInjector"]
+__all__ = [
+    "ChaosEngine",
+    "ChaosEvent",
+    "ChaosSpec",
+    "CorruptionMode",
+    "FaultInjector",
+    "InjectedFault",
+    "LowLevelInjector",
+]

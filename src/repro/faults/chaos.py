@@ -1,0 +1,289 @@
+"""Deterministic, seed-driven chaos campaigns over a cluster.
+
+The paper's evaluation (§5.1) injects one fault at a time and waits for the
+pipeline to recover.  This module schedules *correlated and overlapping*
+faults over simulated time — the adversarial conditions the hardened
+recovery pipeline (:mod:`repro.core.hardening`) exists to survive:
+
+* **flap trains** — the same component is re-broken every few seconds,
+  faster than the quarantine-less pipeline can usefully microreboot it;
+* **correlated bursts** — several components across several nodes break at
+  the same instant (a bad deploy, a poisoned cache), pushing every node's
+  recovery manager over threshold at once;
+* **infrastructure faults** — LB→node link degradation (forward delay +
+  drops), node-level CPU slowdown from a process outside the JVM, and SSM
+  brick outages that make *every* node's sessions temporarily unreadable.
+
+Determinism: the whole schedule is precomputed at construction from one
+dedicated RNG stream (fixed draw order), and the engine process applies
+events at their precomputed simulated times.  Same seed → same schedule →
+same simulation, which is what lets the parallel campaign runner merge
+``--jobs N`` output byte-identically with ``--jobs 1``.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.faults.injector import FaultInjector
+
+#: Front-line session beans whose URL paths clients actually exercise —
+#: breaking these produces detectable end-to-end failures quickly.
+COMPONENT_TARGETS = (
+    "BrowseCategories",
+    "BrowseRegions",
+    "ViewItem",
+    "SearchItemsByCategory",
+    "ViewUserInfo",
+)
+
+#: Component-level fault kinds the engine draws from (all curable by µRB).
+COMPONENT_FAULTS = ("transient-exception", "deadlock", "infinite-loop")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Knobs for one chaos campaign (all times in simulated seconds)."""
+
+    duration: float = 480.0  # fault window length
+    start: float = 30.0  # quiet warmup before the first fault
+    flap_trains: int = 1  # re-broken-component sequences
+    flap_pulses: int = 6  # re-injections per train
+    flap_interval: float = 12.0  # seconds between re-injections
+    bursts: int = 2  # correlated multi-component bursts
+    burst_size: int = 3  # simultaneous faults per burst
+    link_faults: int = 1  # LB→node link degradations
+    link_delay: float = 0.25  # extra forward delay while degraded
+    link_drop_rate: float = 0.25  # forward drop probability
+    link_duration: float = 45.0
+    slowdowns: int = 1  # node-level CPU slowdowns
+    slowdown_hogs: int = 3  # external hog processes per slowdown
+    slowdown_duration: float = 60.0
+    ssm_outages: int = 1  # SSM brick crashes (needs an SSM cluster)
+    ssm_outage_duration: float = 40.0
+
+    @classmethod
+    def smoke(cls):
+        """A short mix exercising every fault class (CI-sized)."""
+        return cls(
+            duration=240.0,
+            flap_trains=1,
+            flap_pulses=4,
+            bursts=1,
+            burst_size=2,
+            link_faults=1,
+            link_duration=30.0,
+            slowdowns=1,
+            slowdown_duration=40.0,
+            ssm_outages=1,
+            ssm_outage_duration=25.0,
+        )
+
+    @classmethod
+    def standard(cls):
+        """The default full campaign."""
+        return cls()
+
+
+@dataclass
+class ChaosEvent:
+    """One scheduled injection or heal."""
+
+    time: float
+    kind: str  # e.g. "transient-exception", "link", "link-heal", ...
+    node: int = None  # node index, or None for cluster-wide faults
+    target: str = None  # component name, for component-level faults
+    params: dict = field(default_factory=dict)
+    applied_at: float = None  # stamped by the engine
+
+
+class ChaosEngine:
+    """Precomputes a fault schedule and applies it over simulated time."""
+
+    def __init__(self, cluster, spec=None, rng=None, name="chaos"):
+        self.cluster = cluster
+        self.spec = spec or ChaosSpec.standard()
+        self.rng = rng if rng is not None else cluster.rng.stream("chaos")
+        self.name = name
+        self.injectors = [
+            FaultInjector(node.system) for node in cluster.nodes
+        ]
+        #: Dedicated stream for the link drop draws, so routing-time
+        #: randomness never perturbs the schedule stream.
+        self._drop_rng = cluster.rng.stream("chaos-link-drops")
+        self.schedule = self._build_schedule()
+        self.applied = []
+        self.counts = {}
+        self._process = None
+
+    @property
+    def kernel(self):
+        return self.cluster.kernel
+
+    # ------------------------------------------------------------------
+    # Schedule construction (all RNG draws happen here, in fixed order)
+    # ------------------------------------------------------------------
+    def _build_schedule(self):
+        spec = self.spec
+        rng = self.rng
+        n_nodes = len(self.cluster.nodes)
+        events = []
+
+        def when(fraction_of_window=1.0):
+            return spec.start + rng.uniform(
+                0, spec.duration * fraction_of_window
+            )
+
+        for _train in range(spec.flap_trains):
+            node = rng.randrange(n_nodes)
+            component = rng.choice(COMPONENT_TARGETS)
+            start = when(0.5)  # leave room for every pulse
+            for pulse in range(spec.flap_pulses):
+                events.append(
+                    ChaosEvent(
+                        time=start + pulse * spec.flap_interval,
+                        kind="transient-exception",
+                        node=node,
+                        target=component,
+                        params={"train": True, "pulse": pulse},
+                    )
+                )
+
+        for _burst in range(spec.bursts):
+            start = when()
+            for _i in range(spec.burst_size):
+                node = rng.randrange(n_nodes)
+                component = rng.choice(COMPONENT_TARGETS)
+                kind = rng.choice(COMPONENT_FAULTS)
+                events.append(
+                    ChaosEvent(
+                        time=start, kind=kind, node=node, target=component,
+                        params={"burst": True},
+                    )
+                )
+
+        for _fault in range(spec.link_faults):
+            node = rng.randrange(n_nodes)
+            start = when(0.8)
+            events.append(
+                ChaosEvent(
+                    time=start, kind="link", node=node,
+                    params={
+                        "delay": spec.link_delay,
+                        "drop_rate": spec.link_drop_rate,
+                    },
+                )
+            )
+            events.append(
+                ChaosEvent(
+                    time=start + spec.link_duration, kind="link-heal",
+                    node=node,
+                )
+            )
+
+        for _slowdown in range(spec.slowdowns):
+            node = rng.randrange(n_nodes)
+            start = when(0.8)
+            events.append(
+                ChaosEvent(
+                    time=start, kind="slowdown", node=node,
+                    params={"hogs": spec.slowdown_hogs},
+                )
+            )
+            events.append(
+                ChaosEvent(
+                    time=start + spec.slowdown_duration,
+                    kind="slowdown-heal", node=node,
+                )
+            )
+
+        if self.cluster.ssm is not None:
+            for _outage in range(spec.ssm_outages):
+                start = when(0.8)
+                events.append(ChaosEvent(time=start, kind="ssm-crash"))
+                events.append(
+                    ChaosEvent(
+                        time=start + spec.ssm_outage_duration,
+                        kind="ssm-restart",
+                    )
+                )
+
+        # Stable order: by time, ties broken by construction order (the
+        # sort is stable), so identical seeds replay identically.
+        events.sort(key=lambda event: event.time)
+        return events
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self):
+        """Spawn the engine's kernel process."""
+        if self._process is None or not self._process.is_alive:
+            self._process = self.kernel.process(
+                self._run(), name=f"{self.name}-engine"
+            )
+        return self._process
+
+    def _run(self):
+        self.kernel.trace.publish(
+            "chaos.begin", events=len(self.schedule),
+            horizon=self.spec.start + self.spec.duration,
+        )
+        for event in self.schedule:
+            delay = event.time - self.kernel.now
+            if delay > 0:
+                yield self.kernel.timeout(delay)
+            self._apply(event)
+        self.kernel.trace.publish("chaos.end", applied=len(self.applied))
+
+    def _apply(self, event):
+        kind = event.kind
+        cluster = self.cluster
+        node = cluster.nodes[event.node] if event.node is not None else None
+        if kind == "transient-exception":
+            self.injectors[event.node].inject_transient_exception(event.target)
+        elif kind == "deadlock":
+            self.injectors[event.node].inject_deadlock(event.target)
+        elif kind == "infinite-loop":
+            self.injectors[event.node].inject_infinite_loop(event.target)
+        elif kind == "link":
+            cluster.load_balancer.inject_link_fault(
+                node,
+                delay=event.params["delay"],
+                drop_rate=event.params["drop_rate"],
+                rng=self._drop_rng,
+            )
+        elif kind == "link-heal":
+            cluster.load_balancer.clear_link_fault(node)
+        elif kind == "slowdown":
+            node.inject_slowdown(hogs=event.params["hogs"])
+        elif kind == "slowdown-heal":
+            node.clear_slowdown()
+        elif kind == "ssm-crash":
+            cluster.ssm.crash()
+        elif kind == "ssm-restart":
+            cluster.ssm.restart()
+        else:  # pragma: no cover - schedule builder only emits the above
+            raise ValueError(f"unknown chaos event kind {kind!r}")
+        event.applied_at = self.kernel.now
+        self.applied.append(event)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.kernel.trace.publish(
+            "chaos.event",
+            kind=kind,
+            node=node.name if node is not None else None,
+            target=event.target,
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def timeline(self):
+        """Applied events as plain dicts (for JSON-able campaign output)."""
+        return [
+            {
+                "time": round(event.applied_at, 6),
+                "kind": event.kind,
+                "node": event.node,
+                "target": event.target,
+            }
+            for event in self.applied
+        ]

@@ -6,10 +6,17 @@ volatile state and vanish when a microreboot rebuilds the container.
 Corruption faults mutate real metadata and store contents.
 """
 
+from collections import namedtuple
+
 from repro.appserver.descriptors import TxAttribute
 from repro.appserver.errors import ApplicationException
 from repro.faults.corruption import CorruptionMode
 from repro.sim.resources import Lock
+
+#: One injected fault: what, where, and *when* (simulated seconds).  The
+#: timestamp plus the ``fault.injected`` TraceBus event make chaos-campaign
+#: timelines reconstructable from JSONL exports alone.
+InjectedFault = namedtuple("InjectedFault", ("fault", "target", "time"))
 
 
 class FaultInjector:
@@ -17,7 +24,7 @@ class FaultInjector:
 
     def __init__(self, system):
         self.system = system
-        self.injected = []  # (fault name, target) log for experiments
+        self.injected = []  # InjectedFault log for experiments
 
     @property
     def server(self):
@@ -31,7 +38,12 @@ class FaultInjector:
         return self.server.containers[component]
 
     def _log(self, fault, target):
-        self.injected.append((fault, target))
+        entry = InjectedFault(fault, target, self.kernel.now)
+        self.injected.append(entry)
+        self.kernel.trace.publish(
+            "fault.injected", fault=fault, target=target,
+            server=self.server.name,
+        )
 
     # ------------------------------------------------------------------
     # Behavioural faults (cured by µRB because hooks live in the container)

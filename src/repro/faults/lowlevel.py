@@ -11,6 +11,7 @@ even the JVM restart cannot undo (the ``≈`` rows).
 """
 
 from repro.appserver.memory import OWNER_SERVER
+from repro.faults.injector import InjectedFault
 
 
 class LowLevelInjector:
@@ -26,7 +27,13 @@ class LowLevelInjector:
         return self.system.server
 
     def _log(self, fault, target):
-        self.injected.append((fault, target))
+        kernel = self.system.kernel
+        entry = InjectedFault(fault, target, kernel.now)
+        self.injected.append(entry)
+        kernel.trace.publish(
+            "fault.injected", fault=fault, target=target,
+            server=self.server.name,
+        )
 
     # ------------------------------------------------------------------
     # Bit flips

@@ -27,6 +27,13 @@ class SSM:
         self.reads = 0
         self.writes = 0
         self.checksum_failures = 0
+        #: True while the store is unreachable (chaos brick crash).  The
+        #: stored state itself survives — SSM replicates session data
+        #: across bricks [26] — but reads miss and writes are dropped
+        #: until the brick restarts.
+        self.crashed = False
+        self.missed_reads = 0
+        self.dropped_writes = 0
 
     survives_microreboot = True
     survives_jvm_restart = True
@@ -44,6 +51,9 @@ class SSM:
         bad/expired object is discarded, never handed to the application.
         """
         self.reads += 1
+        if self.crashed:
+            self.missed_reads += 1
+            return None
         self._gc()
         data = self._sessions.get(session_id)
         if data is None:
@@ -61,6 +71,9 @@ class SSM:
     def write(self, session_id, data):
         """Atomically store a sealed copy and (re)grant its lease."""
         self.writes += 1
+        if self.crashed:
+            self.dropped_writes += 1
+            return
         self._sessions[session_id] = data.copy().seal()
         self.leases.grant(session_id)
 
@@ -78,6 +91,30 @@ class SSM:
         """Collect sessions whose leases lapsed (orphaned state)."""
         for session_id in self.leases.collect_expired():
             self._sessions.pop(session_id, None)
+
+    # ------------------------------------------------------------------
+    # Brick crash / restart (chaos fault-injection surface)
+    # ------------------------------------------------------------------
+    def crash(self):
+        """The brick quorum becomes unreachable: reads miss, writes drop.
+
+        Session *state* survives (it is replicated across bricks); only
+        availability is lost.  Servlets see sessions as absent and answer
+        login-required, which is exactly the correlated, cluster-wide
+        symptom a recovery-storm limiter has to cope with.
+        """
+        self.crashed = True
+        self.kernel.trace.publish("ssm.crash", store=self.name)
+
+    def restart(self):
+        """The brick rejoins: reads and writes flow again."""
+        self.crashed = False
+        self.kernel.trace.publish(
+            "ssm.restart",
+            store=self.name,
+            missed_reads=self.missed_reads,
+            dropped_writes=self.dropped_writes,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle notifications

@@ -45,8 +45,16 @@ STICKY_PREFIXES = (
     "component.microreboot.",
     "lb.failover",
     "lb.forward.error",
+    "lb.link.",
+    "lb.degraded",
+    "lb.shed",
     "node.restart",
+    "node.slowdown",
     "detector.mismatch",
+    "fault.injected",
+    "chaos.",
+    "ssm.crash",
+    "ssm.restart",
 )
 
 #: Whether newly constructed buses start enabled (see set_default_tracing).

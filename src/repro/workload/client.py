@@ -191,6 +191,7 @@ class EmulatedClient:
                         kind=failure,
                         detail=(response.body[:80] if response else "no response"),
                         client_id=self.client_id,
+                        cookie=self.cookie,
                     )
                 )
         return record

@@ -1,0 +1,206 @@
+"""Tests for the hardened recovery pipeline: backoff, flap quarantine,
+storm limiting (the knobs in :mod:`repro.core.hardening`)."""
+
+import pytest
+
+from repro.core import FailureKind, FailureReport, RecoveryManager
+from repro.core.hardening import HardeningPolicy, RecoveryStormLimiter
+from repro.sim import Kernel
+from tests.toyapp import URL_PATH_MAP, build_toy_system
+
+
+def make_rm(system, hardening, **kwargs):
+    defaults = dict(score_threshold=3, escalation_window=45.0)
+    defaults.update(kwargs)
+    rm = RecoveryManager(
+        system.kernel, system.coordinator, URL_PATH_MAP,
+        hardening=hardening, **defaults,
+    )
+    rm.start()
+    return rm
+
+
+def report(rm, system, url):
+    rm.report(
+        FailureReport(
+            time=system.kernel.now,
+            url=url,
+            operation=url.rsplit("/", 1)[-1],
+            kind=FailureKind.HTTP_ERROR,
+        )
+    )
+
+
+def flap_policy(**overrides):
+    knobs = dict(
+        enabled=True, backoff_base=60.0, backoff_factor=2.0,
+        backoff_max=300.0, flap_threshold=3, flap_window=500.0,
+        flap_debounce=0.0, quarantine_ttl=50.0,
+    )
+    knobs.update(overrides)
+    return HardeningPolicy(**knobs)
+
+
+# ----------------------------------------------------------------------
+# Policy validation
+# ----------------------------------------------------------------------
+class TestHardeningPolicy:
+    def test_constructors(self):
+        assert not HardeningPolicy.disabled().enabled
+        assert HardeningPolicy.hardened().enabled
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"backoff_base": -1.0},
+            {"backoff_factor": 0.5},
+            {"flap_threshold": 0},
+            {"flap_debounce": -0.1},
+            {"quarantine_ttl": -5.0},
+            {"storm_limit": 0},
+            {"storm_window_limit": 0},
+            {"shed_latency": -0.4},
+            {"latency_samples": 0},
+        ],
+    )
+    def test_bad_knobs_fail_at_construction(self, knobs):
+        with pytest.raises(ValueError):
+            HardeningPolicy(**knobs)
+
+
+# ----------------------------------------------------------------------
+# Storm limiter
+# ----------------------------------------------------------------------
+class TestRecoveryStormLimiter:
+    def test_concurrent_cap_and_release(self):
+        limiter = RecoveryStormLimiter(Kernel(), limit=1)
+        assert limiter.admit("rm0")
+        assert not limiter.admit("rm1")
+        assert limiter.denied == 1
+        limiter.release()
+        assert limiter.admit("rm1")
+
+    def test_window_cap_resets_as_time_passes(self):
+        kernel = Kernel()
+        limiter = RecoveryStormLimiter(
+            kernel, limit=2, window=60.0, window_limit=2
+        )
+        assert limiter.admit()
+        limiter.release()
+        assert limiter.admit()
+        limiter.release()
+        # Two starts inside the window: the rapid-fire cap kicks in even
+        # though nothing is running concurrently.
+        assert not limiter.admit()
+
+        def advance():
+            yield kernel.timeout(61.0)
+
+        kernel.process(advance())
+        kernel.run()
+        assert limiter.admit()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"limit": 0},
+            {"window": -1.0},
+            {"limit": 4, "window_limit": 2},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RecoveryStormLimiter(Kernel(), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Backoff + flap quarantine in the recovery manager
+# ----------------------------------------------------------------------
+def drive_waves(system, rm, waves, gap=20.0, url="/toy/greet"):
+    """``waves`` rounds of 3 reports each, ``gap`` seconds apart."""
+
+    def driver():
+        for _ in range(waves):
+            for _ in range(3):
+                report(rm, system, url)
+            yield system.kernel.timeout(gap)
+
+    system.kernel.process(driver())
+    system.kernel.run(until=waves * gap + 50.0)
+
+
+def test_backoff_defers_rerecovery_of_fresh_target():
+    system = build_toy_system()
+    rm = make_rm(system, flap_policy())
+    drive_waves(system, rm, waves=2)
+    # One µRB; the second wave's demand hits the target's backoff and is
+    # deferred instead of recycling the component again.
+    assert [a.level for a in rm.actions] == ["ejb"]
+    assert rm.metrics.counter("rm.backoff.deferred").value >= 1
+
+
+def test_disabled_policy_recovers_every_wave():
+    system = build_toy_system()
+    rm = make_rm(system, HardeningPolicy.disabled())
+    drive_waves(system, rm, waves=2)
+    assert len(rm.actions) >= 2
+
+
+def test_repeated_flapping_quarantines_the_target():
+    system = build_toy_system()
+    rm = make_rm(system, flap_policy(quarantine_ttl=1000.0))
+    drive_waves(system, rm, waves=4)
+    assert "Greeter" in rm.active_quarantines()
+    assert system.server.naming.is_sentinel("Greeter")
+    assert rm.metrics.counter("rm.quarantine.count").value == 1
+    # Still only the one original µRB: the loop was broken, not fed.
+    assert len(rm.actions) == 1
+
+
+def test_quarantine_suppresses_explained_reports():
+    system = build_toy_system()
+    rm = make_rm(system, flap_policy())
+    drive_waves(system, rm, waves=6)
+    # Reports whose path contains the quarantined flapper are dropped
+    # before scoring — they are already explained.
+    assert rm.metrics.counter("rm.reports.quarantined").value > 0
+    assert len(rm.actions) == 1
+
+
+def test_quarantine_listeners_observe_begin_and_lift():
+    system = build_toy_system()
+    rm = make_rm(system, flap_policy(quarantine_ttl=30.0))
+    seen = []
+    rm.quarantine_listeners.append(
+        lambda name, active: seen.append((name, set(active)))
+    )
+    drive_waves(system, rm, waves=4)
+    system.kernel.run(until=system.kernel.now + 100.0)
+    assert ("Greeter", {"Greeter"}) in seen  # begin
+    assert ("Greeter", set()) in seen  # lift at ttl expiry
+    assert not rm.active_quarantines()
+    assert not system.server.naming.is_sentinel("Greeter")
+
+
+def test_flap_debounce_coalesces_report_bursts():
+    system = build_toy_system()
+    # Debounce longer than the wave gap: the repeated deferrals collapse
+    # into (at most) one counted strike, so no quarantine forms.
+    rm = make_rm(system, flap_policy(flap_debounce=400.0))
+    drive_waves(system, rm, waves=4)
+    assert not rm.active_quarantines()
+    assert rm.metrics.counter("rm.quarantine.count").value == 0
+
+
+def test_storm_limiter_defers_rm_actions():
+    system = build_toy_system()
+    limiter = RecoveryStormLimiter(
+        system.kernel, limit=1, window=10_000.0, window_limit=1
+    )
+    rm = make_rm(system, flap_policy(), storm_limiter=limiter)
+    # Burn the in-window budget so the RM's first action is denied.
+    assert limiter.admit("other-node")
+    limiter.release()
+    drive_waves(system, rm, waves=1)
+    assert rm.actions == []
+    assert limiter.denied >= 1

@@ -1,0 +1,107 @@
+"""Tests for the chaos engine: deterministic schedules, applied faults,
+and the injector's timestamped ``fault.injected`` log."""
+
+from repro.cluster import build_cluster
+from repro.core import RetryPolicy
+from repro.ebid.schema import DatasetConfig
+from repro.faults.chaos import ChaosEngine, ChaosSpec
+from repro.faults.injector import FaultInjector, InjectedFault
+
+
+def make_cluster(seed=0):
+    return build_cluster(
+        2, dataset=DatasetConfig.tiny(), seed=seed, session_store="ssm",
+        retry_policy=RetryPolicy.retry_only(),
+    )
+
+
+def schedule_key(engine):
+    return [
+        (round(e.time, 9), e.kind, e.node, e.target)
+        for e in engine.schedule
+    ]
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        a = ChaosEngine(make_cluster(seed=7), spec=ChaosSpec.smoke())
+        b = ChaosEngine(make_cluster(seed=7), spec=ChaosSpec.smoke())
+        assert schedule_key(a) == schedule_key(b)
+
+    def test_different_seed_different_schedule(self):
+        a = ChaosEngine(make_cluster(seed=7), spec=ChaosSpec.smoke())
+        b = ChaosEngine(make_cluster(seed=8), spec=ChaosSpec.smoke())
+        assert schedule_key(a) != schedule_key(b)
+
+    def test_smoke_spec_covers_every_fault_class(self):
+        engine = ChaosEngine(make_cluster(), spec=ChaosSpec.smoke())
+        kinds = {e.kind for e in engine.schedule}
+        assert {"link", "link-heal", "slowdown", "slowdown-heal",
+                "ssm-crash", "ssm-restart"} <= kinds
+        # Flap trains and bursts draw from the component fault kinds.
+        assert kinds & {"transient-exception", "deadlock", "infinite-loop"}
+
+    def test_schedule_is_sorted_and_inside_window(self):
+        spec = ChaosSpec.smoke()
+        engine = ChaosEngine(make_cluster(), spec=spec)
+        times = [e.time for e in engine.schedule]
+        assert times == sorted(times)
+        assert all(t >= spec.start for t in times)
+
+
+class TestEngineRun:
+    def test_engine_applies_whole_schedule(self):
+        cluster = make_cluster()
+        spec = ChaosSpec.smoke()
+        engine = ChaosEngine(cluster, spec=spec)
+        engine.start()
+        cluster.kernel.run(until=spec.start + spec.duration + 60.0)
+        assert len(engine.applied) == len(engine.schedule)
+        assert sum(engine.counts.values()) == len(engine.schedule)
+        assert all(e.applied_at is not None for e in engine.applied)
+        timeline = engine.timeline()
+        assert len(timeline) == len(engine.schedule)
+        assert all(
+            entry["time"] >= spec.start for entry in timeline
+        )
+
+    def test_component_faults_land_in_injector_logs(self):
+        cluster = make_cluster()
+        spec = ChaosSpec.smoke()
+        engine = ChaosEngine(cluster, spec=spec)
+        expected = sum(
+            1 for e in engine.schedule
+            if e.kind in ("transient-exception", "deadlock", "infinite-loop")
+        )
+        engine.start()
+        cluster.kernel.run(until=spec.start + spec.duration + 60.0)
+        logged = [
+            entry
+            for injector in engine.injectors
+            for entry in injector.injected
+        ]
+        assert len(logged) == expected
+
+
+class TestInjectorLog:
+    def test_injection_is_timestamped_and_published(self):
+        cluster = make_cluster()
+        kernel = cluster.kernel
+        injector = FaultInjector(cluster.nodes[0].system)
+        published = []
+        kernel.trace.enabled = True
+        kernel.trace.subscribe(
+            lambda ev: published.append(ev.fields), kinds=("fault.injected",)
+        )
+
+        def driver():
+            yield kernel.timeout(12.5)
+            injector.inject_transient_exception("ViewItem")
+
+        kernel.process(driver())
+        kernel.run(until=20.0)
+
+        assert injector.injected == [
+            InjectedFault("transient-exception", "ViewItem", 12.5)
+        ]
+        assert published and published[0]["target"] == "ViewItem"

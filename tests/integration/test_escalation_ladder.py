@@ -1,0 +1,113 @@
+"""The full escalation ladder preserves session state at every rung (§4).
+
+Drives a single-node SSM cluster's recovery manager up the recursive
+recovery policy — EJB µRB (including the recovery-group expansion),
+WAR, application, JVM restart, OS reboot — and checks after each rung
+that the conversational session established before the first failure
+still works: the crash-only contract says recovery may cost time, never
+session state, because sessions live in the external store.
+"""
+
+from repro.appserver.http import HttpRequest, HttpStatus
+from repro.cluster import build_cluster
+from repro.core import FailureKind, FailureReport, RecoveryManager
+from repro.ebid.descriptors import URL_PATH_MAP
+from repro.ebid.schema import DatasetConfig
+
+#: A URL whose path touches Item, a member of the eBid recovery group
+#: (Category → Region → User → Item → Bid), so one of the EJB-level µRBs
+#: expands to the whole group.
+FAILING_URL = "/ebid/SearchItemsByCategory"
+
+
+def issue(cluster, url, params=None, cookie=None):
+    request = HttpRequest(
+        url=url, operation=url.rsplit("/", 1)[-1], params=params or {},
+        cookie=cookie,
+    )
+    return cluster.kernel.run_until_triggered(
+        cluster.load_balancer.handle_request(request)
+    )
+
+
+def establish_session(cluster):
+    response = issue(
+        cluster, "/ebid/Authenticate", {"user_id": 1, "password": "pw1"},
+    )
+    cookie = response.payload["cookie"]
+    issue(cluster, "/ebid/MakeBid", {"item_id": 3}, cookie=cookie)
+    return cookie
+
+
+def assert_session_alive(cluster, cookie, context):
+    """The session (and its selected-item state) must still be usable."""
+    response = issue(cluster, "/ebid/MakeBid", {"item_id": 3}, cookie=cookie)
+    assert response.status == HttpStatus.OK, (
+        f"after {context}: MakeBid failed with {response.status}"
+    )
+    assert not response.payload.get("login_required"), (
+        f"after {context}: session state was lost"
+    )
+
+
+def test_escalation_ladder_preserves_session_state():
+    cluster = build_cluster(
+        1, dataset=DatasetConfig.tiny(), session_store="ssm",
+    )
+    kernel = cluster.kernel
+    node = cluster.nodes[0]
+    rm = RecoveryManager(
+        kernel,
+        node.system.coordinator,
+        URL_PATH_MAP,
+        node_controller=node,
+        escalation_window=1000.0,
+        recurring_limit=100,
+    )
+    rm.start()
+
+    cookie = establish_session(cluster)
+
+    def drive_until(level):
+        """Feed failure reports until an action at ``level`` completes."""
+
+        def driver():
+            for _ in range(40):
+                if any(
+                    a.level == level and a.finished_at is not None
+                    for a in rm.actions
+                ):
+                    return
+                for _ in range(3):
+                    rm.report(
+                        FailureReport(
+                            time=kernel.now,
+                            url=FAILING_URL,
+                            operation="SearchItemsByCategory",
+                            kind=FailureKind.HTTP_ERROR,
+                        )
+                    )
+                yield kernel.timeout(30.0)
+
+        kernel.run_until_triggered(kernel.process(driver()))
+        assert any(
+            a.level == level and a.finished_at is not None
+            for a in rm.actions
+        ), f"never reached a completed {level!r} action"
+
+    # Rung by rung: recover, then prove the session survived the rung.
+    for level in ("ejb", "war", "application", "jvm", "os"):
+        drive_until(level)
+        assert_session_alive(cluster, cookie, f"{level} recovery")
+
+    levels = [a.level for a in rm.actions]
+    assert levels.index("war") < levels.index("application")
+    assert levels.index("application") < levels.index("jvm")
+    assert levels.index("jvm") < levels.index("os")
+
+    # The EJB rung includes the recovery-group expansion: rebooting Item
+    # drags the whole coupled group down together (§5.2).
+    group_targets = [a.target for a in rm.actions if a.level == "ejb"]
+    assert any(len(target) > 1 for target in group_targets), (
+        f"no group µRB among EJB actions: {group_targets}"
+    )

@@ -95,3 +95,18 @@ def test_write_seals_a_copy():
     stored = store.read("c1")
     assert stored.attributes["user_id"] == 1
     assert stored.checksum is not None
+
+
+def test_crash_drops_availability_not_state():
+    _, store = make_store()
+    store.write("c1", make_session())
+    store.crash()
+    # The brick quorum is unreachable: reads miss and writes drop...
+    assert store.read("c1") is None
+    store.write("c2", make_session("c2", user_id=2))
+    assert store.missed_reads == 1
+    assert store.dropped_writes == 1
+    # ...but the replicated state itself survives the outage.
+    store.restart()
+    assert store.read("c1").user_id == 1
+    assert store.read("c2") is None
