@@ -51,6 +51,24 @@ def test_chaos_campaign_determinism_and_hardening_gate():
         "--jobs 1 and --jobs 2"
     )
 
+    # Observability contract: every recovery action the campaign executed
+    # is attributed to exactly one incident, and each incident's phase
+    # decomposition (detection/diagnosis/recovery/residual) sums to its
+    # wall-clock span (tolerance covers the 6-decimal export rounding).
+    for arm, outcome in outcomes.items():
+        incidents = outcome["incidents"]
+        assert incidents["actions_attributed"] == outcome["recovery_actions"], (
+            f"{arm}: {outcome['recovery_actions']} recovery actions ran but "
+            f"{incidents['actions_attributed']} were attributed to incidents"
+        )
+        for record in outcome["incident_records"]:
+            drift = abs(sum(record["phases"].values()) - record["span"])
+            assert drift < 1e-4, (
+                f"{arm} incident #{record['id']} ({record['key']}): phases "
+                f"sum to {sum(record['phases'].values())}, span is "
+                f"{record['span']}"
+            )
+
     seed_arm, hardened = outcomes["seed"], outcomes["hardened"]
     payload = {
         "spec": "smoke",

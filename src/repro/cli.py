@@ -10,6 +10,8 @@ Usage::
     python -m repro run figure1 --quick --trace figure1.jsonl
     python -m repro trace figure1.jsonl
     python -m repro paths figure1.jsonl
+    python -m repro incidents figure1.jsonl --json incidents.jsonl
+    python -m repro slo figure1.jsonl --window 30 --availability 0.999
 
 Each experiment prints its rendered table (and ASCII figures, where the
 paper has a figure) to stdout; ``--out-dir`` additionally writes one text
@@ -18,7 +20,9 @@ the span layer) for the run and writes every kernel's event timeline to
 one JSONL file.  The ``trace`` subcommand summarizes it (recovery
 timeline, failover windows, slowest requests); the ``paths`` subcommand
 renders the causal view (observed call trees, dependency graph, anomaly
-ranking, recovery-decision audit).
+ranking, recovery-decision audit); ``incidents`` stitches the timeline
+into per-incident MTTR decompositions and ``slo`` judges rolling
+availability/latency windows against a policy.
 """
 
 import argparse
@@ -29,10 +33,21 @@ from contextlib import nullcontext
 from pathlib import Path
 
 from repro.diagnosis.report import summarize_paths
+from repro.ebid.descriptors import URL_PATH_MAP
+from repro.observability import (
+    SloPolicy,
+    incidents_from_timeline,
+    registry_from_observability,
+    render_prometheus,
+    summarize_incidents,
+    summarize_slo,
+    windows_from_records,
+    write_incidents,
+)
 from repro.telemetry import (
     TimelineError,
     capture_to_jsonl,
-    read_timeline,
+    load_timeline,
     summarize_timeline,
 )
 
@@ -116,6 +131,32 @@ def build_parser():
     paths.add_argument("file", type=Path)
     paths.add_argument("--limit", type=int, default=20,
                        help="how many URLs/edges to show per section")
+
+    incidents = sub.add_parser(
+        "incidents",
+        help="stitch a JSONL timeline into incidents with per-phase MTTR "
+             "decomposition (detection/diagnosis/recovery/residual)",
+    )
+    incidents.add_argument("file", type=Path)
+    incidents.add_argument("--json", type=Path, default=None,
+                           help="also write incidents as JSONL here")
+    incidents.add_argument("--prom", type=Path, default=None,
+                           help="also write Prometheus text exposition here")
+
+    slo = sub.add_parser(
+        "slo",
+        help="judge rolling SLO windows (availability, Gaw, p50/p99, "
+             "error-budget burn) over a JSONL timeline",
+    )
+    slo.add_argument("file", type=Path)
+    slo.add_argument("--window", type=float, default=30.0,
+                     help="window width in simulated seconds")
+    slo.add_argument("--availability", type=float, default=0.999,
+                     help="per-window availability target")
+    slo.add_argument("--latency", type=float, default=8.0,
+                     help="per-window p99 ceiling in seconds")
+    slo.add_argument("--prom", type=Path, default=None,
+                     help="also write Prometheus text exposition here")
     return parser
 
 
@@ -123,24 +164,16 @@ def _load_timeline(path):
     """Read a JSONL timeline for a CLI subcommand.
 
     Missing, unreadable, corrupt, or empty files are reported as one-line
-    errors on stderr (exit code 2), never as tracebacks.
+    errors on stderr (exit code 2), never as tracebacks.  The actual
+    loading and error classification live in
+    :func:`repro.telemetry.export.load_timeline`, shared by every
+    timeline-consuming subcommand.
     """
-    if not path.exists():
-        print(f"error: no such trace file: {path}", file=sys.stderr)
-        return None
     try:
-        records = read_timeline(path)
+        return load_timeline(path)
     except TimelineError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return None
-    except OSError as exc:
-        print(f"error: cannot read {path}: {exc.strerror}", file=sys.stderr)
-        return None
-    if not records:
-        print(f"error: {path} is an empty timeline (0 events)",
-              file=sys.stderr)
-        return None
-    return records
 
 
 def run_experiment(name, seed=0, full=False, quick=False, jobs=1):
@@ -186,6 +219,46 @@ def main(argv=None):
         if records is None:
             return 2
         print(summarize_paths(records, limit=args.limit))
+        return 0
+
+    if args.command == "incidents":
+        records = _load_timeline(args.file)
+        if records is None:
+            return 2
+        incidents = incidents_from_timeline(records, url_path_map=URL_PATH_MAP)
+        print(summarize_incidents(incidents))
+        if args.json is not None:
+            written = write_incidents(args.json, incidents)
+            print(f"[{written} incident(s) written to {args.json}]")
+        if args.prom is not None:
+            windows = windows_from_records(records)
+            registry = registry_from_observability(incidents, windows)
+            args.prom.write_text(
+                render_prometheus(registry), encoding="utf-8"
+            )
+            print(f"[Prometheus exposition written to {args.prom}]")
+        return 0
+
+    if args.command == "slo":
+        records = _load_timeline(args.file)
+        if records is None:
+            return 2
+        policy = SloPolicy(
+            window=args.window,
+            availability_target=args.availability,
+            latency_target=args.latency,
+        )
+        windows = windows_from_records(records, policy=policy)
+        print(summarize_slo(windows, policy=policy))
+        if args.prom is not None:
+            incidents = incidents_from_timeline(
+                records, url_path_map=URL_PATH_MAP
+            )
+            registry = registry_from_observability(incidents, windows)
+            args.prom.write_text(
+                render_prometheus(registry), encoding="utf-8"
+            )
+            print(f"[Prometheus exposition written to {args.prom}]")
         return 0
 
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:

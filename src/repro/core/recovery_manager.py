@@ -323,6 +323,7 @@ class RecoveryManager:
         self._diagnosis_by_mode.inc(mode)
         self.kernel.trace.publish(
             "rm.diagnosis",
+            server=self.server.name,
             mode=mode,
             candidate=candidate,
             paths=entry.get("paths"),
@@ -348,6 +349,7 @@ class RecoveryManager:
             self._reports_received.inc()
             self.kernel.trace.publish(
                 "rm.report",
+                server=self.server.name,
                 url=report.url,
                 failure=report.kind.value,
                 client=report.client_id,
@@ -372,8 +374,8 @@ class RecoveryManager:
                 # to break.
                 self._reports_quarantined.inc()
                 self.kernel.trace.publish(
-                    "rm.report.quarantined", url=report.url,
-                    failure=report.kind.value,
+                    "rm.report.quarantined", server=self.server.name,
+                    url=report.url, failure=report.kind.value,
                 )
                 continue
             self._score(report)
@@ -501,6 +503,7 @@ class RecoveryManager:
         )
         self.kernel.trace.publish(
             "rm.decision",
+            server=self.server.name,
             level=level,
             target=action.target,
             trigger=report.kind.value,
@@ -555,6 +558,7 @@ class RecoveryManager:
             self.inbox.drain()  # reports queued during recovery are stale
             self.kernel.trace.publish(
                 "rm.action.end",
+                server=self.server.name,
                 level=level,
                 target=action.target,
                 ok=action.ok,
@@ -583,6 +587,7 @@ class RecoveryManager:
             self._backoff_deferred.inc()
         self.kernel.trace.publish(
             "rm.recovery.deferred",
+            server=self.server.name,
             reason=reason,
             level=level,
             targets=tuple(targets),
@@ -645,6 +650,7 @@ class RecoveryManager:
         self._backoff_until[key] = at + backoff
         self.kernel.trace.publish(
             "rm.backoff.set",
+            server=self.server.name,
             target=key,
             level=level,
             until=at + backoff,
@@ -711,7 +717,8 @@ class RecoveryManager:
         retry_after = getattr(self.coordinator.retry_policy, "retry_after", 2.0)
         self.server.naming.bind_sentinel(name, retry_after)
         self.kernel.trace.publish(
-            "rm.quarantine.begin", component=name, until=until
+            "rm.quarantine.begin", server=self.server.name,
+            component=name, until=until,
         )
         self.kernel.process(
             self._lift_quarantine(name, until), name=f"quarantine-lift-{name}"
@@ -727,7 +734,9 @@ class RecoveryManager:
         del self.quarantined[name]
         if self.server.naming.is_sentinel(name) and name in self.server.containers:
             self.server.naming.bind(name, name)
-        self.kernel.trace.publish("rm.quarantine.end", component=name)
+        self.kernel.trace.publish(
+            "rm.quarantine.end", server=self.server.name, component=name
+        )
         for listener in self.quarantine_listeners:
             listener(name, self.active_quarantines())
 

@@ -29,6 +29,12 @@ from repro.core.retry import RetryPolicy
 from repro.ebid.descriptors import URL_PATH_MAP
 from repro.experiments.common import ExperimentResult
 from repro.faults.chaos import ChaosEngine, ChaosSpec
+from repro.observability import (
+    IncidentTracker,
+    SloEngine,
+    aggregate_incidents,
+    aggregate_slo,
+)
 from repro.parallel import TrialSpec, run_campaign
 from repro.workload.client import ClientPopulation
 from repro.workload.markov import WorkloadProfile
@@ -49,6 +55,7 @@ class ChaosClusterRig:
         clients_per_node=30,
         hardened=False,
         spec=None,
+        observability=True,
     ):
         self.hardening = (
             HardeningPolicy.hardened() if hardened
@@ -106,6 +113,20 @@ class ChaosClusterRig:
         self.metrics = self.population.metrics
 
         self.engine = ChaosEngine(self.cluster, spec=spec)
+
+        # Incident stitching + rolling SLOs.  Both are passive TraceBus
+        # subscribers, so turning them on changes what the run *reports*,
+        # never what it *does* — the determinism and hardening-gate
+        # contracts hold with observability enabled.  They need the bus
+        # publishing, so enabling them enables tracing on this kernel.
+        self.incident_tracker = None
+        self.slo_engine = None
+        if observability:
+            self.kernel.trace.enabled = True
+            self.incident_tracker = IncidentTracker(
+                kernel=self.kernel, url_path_map=URL_PATH_MAP
+            )
+            self.slo_engine = SloEngine(self.metrics, kernel=self.kernel)
 
     def _wire_failover(self, rm, node, balancer):
         """LB coordination (§5.3): full failover for node-wide recoveries,
@@ -175,6 +196,10 @@ class ChaosClusterRig:
         self.engine.start()
         horizon = spec.start + spec.duration + tail
         self.kernel.run(until=horizon)
+        if self.incident_tracker is not None:
+            self.incident_tracker.finalize(horizon)
+        if self.slo_engine is not None:
+            self.slo_engine.evaluate(horizon)
         return self.outcome()
 
     def outcome(self):
@@ -217,6 +242,19 @@ class ChaosClusterRig:
             "humans_notified": sum(1 for rm in self.rms if rm.human_notified),
             "chaos_events": dict(sorted(self.engine.counts.items())),
             "chaos_timeline": self.engine.timeline(),
+            **self._observability_outcome(),
+        }
+
+    def _observability_outcome(self):
+        if self.incident_tracker is None:
+            return {}
+        incidents = self.incident_tracker.incidents
+        windows = self.slo_engine.windows
+        return {
+            "incidents": aggregate_incidents(incidents),
+            "incident_records": [i.to_dict() for i in incidents],
+            "slo": aggregate_slo(windows),
+            "slo_violations_live": len(self.slo_engine.live_violations),
         }
 
 
@@ -290,6 +328,25 @@ def run(seed=0, n_nodes=3, clients_per_node=30, full=False, quick=False,
         result.notes.append(
             f"{arm} actions by level: {o['actions_by_level']}"
         )
+        incidents = o.get("incidents")
+        if incidents:
+            means = incidents["mean_phases"]
+            result.notes.append(
+                f"{arm} incidents: {incidents['count']} "
+                f"(closed by {incidents['closed_by']}), mean MTTR "
+                f"{incidents['mean_span']}s = {means.get('detection')}s "
+                f"detect + {means.get('diagnosis')}s diagnose + "
+                f"{means.get('recovery')}s recover + "
+                f"{means.get('residual')}s residual"
+            )
+        slo = o.get("slo")
+        if slo:
+            result.notes.append(
+                f"{arm} SLO (30s windows): {slo['violations']}/"
+                f"{slo['windows']} violated, min availability "
+                f"{slo['min_availability']}, mean Gaw {slo['mean_gaw']}/s, "
+                f"max burn {slo['max_burn']}"
+            )
 
     seed_arm, hardened = outcomes["seed"], outcomes["hardened"]
     result.notes.append(

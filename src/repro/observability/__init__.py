@@ -1,0 +1,56 @@
+"""Incident observability: MTTR decomposition, rolling SLOs, exposition.
+
+The layer that turns raw TraceBus events into the paper's quantitative
+story: :class:`IncidentTracker` stitches fault → detection → diagnosis →
+recovery → quiet into per-incident MTTR phase decompositions,
+:class:`SloEngine` judges rolling availability/latency windows (publishing
+``slo.violated`` back onto the bus), and the exporter renders both as
+Prometheus text exposition or JSONL.  Everything here is passive — it
+subscribes, it never schedules — so enabling observability cannot change
+what a simulation does, only what it tells you.
+"""
+
+from repro.observability.exporter import (
+    incidents_from_timeline,
+    registry_from_observability,
+    render_prometheus,
+    write_incidents,
+)
+from repro.observability.incidents import (
+    DEFAULT_QUIET_PERIOD,
+    Incident,
+    IncidentTracker,
+    TRACKED_KINDS,
+    aggregate_incidents,
+    path_for_url,
+)
+from repro.observability.report import summarize_incidents, summarize_slo
+from repro.observability.slo import (
+    SloEngine,
+    SloPolicy,
+    SloWindow,
+    aggregate_slo,
+    compute_windows,
+    windows_from_records,
+)
+
+__all__ = [
+    "DEFAULT_QUIET_PERIOD",
+    "Incident",
+    "IncidentTracker",
+    "SloEngine",
+    "SloPolicy",
+    "SloWindow",
+    "TRACKED_KINDS",
+    "aggregate_incidents",
+    "aggregate_slo",
+    "compute_windows",
+    "incidents_from_timeline",
+    "path_for_url",
+    "registry_from_observability",
+    "render_prometheus",
+    "summarize_incidents",
+    "summarize_slo",
+    "windows_from_records",
+    "write_incidents",
+]

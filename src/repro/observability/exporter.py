@@ -1,0 +1,166 @@
+"""Exposition: Prometheus text format, JSONL incident export, replay.
+
+Two export surfaces, one for machines and one for pipelines:
+
+* :func:`render_prometheus` turns any
+  :class:`~repro.telemetry.metrics.MetricsRegistry` into the Prometheus
+  text exposition format (``# TYPE`` headers, ``{label="..."}`` series,
+  quantile summaries for histogram sketches) — scrape-shaped, entirely
+  deterministic line order;
+* :func:`write_incidents` dumps stitched incidents as JSONL, one incident
+  per line, for downstream analysis.
+
+The replay half (:func:`incidents_from_timeline`) rebuilds incidents from
+a recorded JSONL timeline by pushing its records through an offline
+:class:`~repro.observability.incidents.IncidentTracker` — the same
+stitching code path as live runs, so ``repro incidents`` on a recorded
+timeline agrees with what the live tracker saw.
+"""
+
+import json
+
+from repro.observability.incidents import (
+    DEFAULT_QUIET_PERIOD,
+    IncidentTracker,
+    TRACKED_KINDS,
+)
+from repro.telemetry.trace import _Subscription
+from repro.telemetry.metrics import Counter, CounterFamily, Gauge, Histogram
+
+
+def _metric_name(name, prefix):
+    """Registry name → Prometheus metric name (dots become underscores)."""
+    safe = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"{prefix}{safe}"
+
+
+def _fmt_value(value):
+    if value is None:
+        return "NaN"
+    if isinstance(value, int) or (
+        isinstance(value, float) and value.is_integer()
+    ):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value):
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def render_prometheus(registry, prefix="repro_"):
+    """The registry in Prometheus text exposition format, one string.
+
+    Counters and gauges render as single samples, counter families as one
+    labelled series per child (``{key="..."}``), histograms as the summary
+    convention: ``{quantile="..."}`` samples plus ``_sum`` and ``_count``.
+    Metrics and labels are emitted in sorted order so the output is
+    byte-stable across runs — diffable, testable, cacheable.
+    """
+    lines = []
+    for name, metric in sorted(registry, key=lambda item: item[0]):
+        prom = _metric_name(name, prefix)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_fmt_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_fmt_value(metric.value)}")
+        elif isinstance(metric, CounterFamily):
+            lines.append(f"# TYPE {prom} counter")
+            for label, value in sorted(metric.as_dict().items()):
+                lines.append(
+                    f'{prom}{{key="{_escape_label(label)}"}} '
+                    f"{_fmt_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {prom} summary")
+            for q in (0.5, 0.95, 0.99):
+                value = metric.quantile(q)
+                if value is not None:
+                    lines.append(
+                        f'{prom}{{quantile="{q}"}} {_fmt_value(value)}'
+                    )
+            lines.append(f"{prom}_sum {_fmt_value(metric.sum)}")
+            lines.append(f"{prom}_count {metric.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def registry_from_observability(incidents, windows, registry=None):
+    """Fold incidents + SLO windows into a registry for exposition.
+
+    Builds the scrape-shaped view of a finished run: incident counts by
+    trigger and by how they closed, MTTR phase totals, and the SLO
+    window/violation tallies.  Pass an existing registry to merge into a
+    rig's own metrics.
+    """
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = registry if registry is not None else MetricsRegistry()
+    count = registry.counter("incidents.count")
+    by_trigger = registry.family("incidents.by_trigger")
+    by_closed = registry.family("incidents.by_closed_by")
+    phase_seconds = registry.family("incidents.phase_seconds")
+    span_hist = registry.histogram("incidents.span_seconds")
+    for incident in incidents:
+        count.inc()
+        by_trigger.inc(incident.trigger)
+        if incident.closed_by:
+            by_closed.inc(incident.closed_by)
+        for phase, seconds in incident.phases().items():
+            phase_seconds.inc(phase, seconds)
+        span_hist.observe(incident.span)
+    registry.counter("slo.windows").inc(len(windows))
+    registry.counter("slo.violations").inc(
+        sum(1 for w in windows if w.violated)
+    )
+    burn = registry.gauge("slo.max_burn")
+    finite = [w.burn for w in windows if w.burn != float("inf")]
+    burn.set(round(max(finite), 6) if finite else 0.0)
+    return registry
+
+
+def write_incidents(path, incidents):
+    """One incident dict per JSONL line; returns the number written."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for incident in incidents:
+            fh.write(json.dumps(incident.to_dict(), sort_keys=True) + "\n")
+    return len(incidents)
+
+
+def incidents_from_timeline(records, url_path_map=None,
+                            quiet_period=DEFAULT_QUIET_PERIOD):
+    """Rebuild incidents from recorded timeline records (offline replay).
+
+    Records are replayed in ``(t, seq)`` order through an offline tracker
+    — the same stitching logic as a live run.  Multi-bus timelines
+    (figure-1 runs one kernel per policy) are replayed per bus so one
+    bus's recovery events cannot close another bus's incidents; incidents
+    come back ordered by bus, then open time.
+    """
+    matcher = _Subscription(None, TRACKED_KINDS)
+    by_bus = {}
+    for record in records:
+        if matcher.matches(record.get("kind", "")):
+            by_bus.setdefault(record.get("bus"), []).append(record)
+    incidents = []
+    for bus in sorted(by_bus, key=str):
+        tracker = IncidentTracker(
+            url_path_map=url_path_map, quiet_period=quiet_period
+        )
+        for record in sorted(
+            by_bus[bus], key=lambda r: (r["t"], r.get("seq", 0))
+        ):
+            tracker.feed_record(record)
+        incidents.extend(tracker.finalize())
+    # Per-bus trackers each number from 1; renumber into one sequence.
+    for index, incident in enumerate(incidents, start=1):
+        incident.id = index
+    return incidents

@@ -1,0 +1,189 @@
+"""Human-readable rendering behind ``repro incidents`` and ``repro slo``.
+
+Pure text formatting over already-stitched data: a per-incident table with
+a phase waterfall (detection/diagnosis/recovery/residual drawn to scale),
+and the rolling SLO window series with its violations called out.  Both
+renderers are deterministic — same incidents/windows in, same bytes out —
+so CLI output can be asserted verbatim in tests.
+"""
+
+from repro.observability.incidents import aggregate_incidents
+from repro.observability.slo import aggregate_slo
+
+#: Phase → single-letter glyph used in the waterfall bars.
+_PHASE_GLYPHS = (
+    ("detection", "d"),
+    ("diagnosis", "D"),
+    ("recovery", "R"),
+    ("residual", "r"),
+)
+
+
+def _table(headers, rows):
+    """The repo's standard fixed-width table (ExperimentResult's layout)."""
+    if not rows:
+        return [
+            "  ".join(str(h) for h in headers),
+            "(none)",
+        ]
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows))
+        for i, h in enumerate(headers)
+    ]
+    header = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines = [header, "-" * len(header)]
+    lines.extend(
+        "  ".join(str(v).ljust(w) for v, w in zip(row, widths))
+        for row in rows
+    )
+    return lines
+
+
+def _fmt_s(value, digits=1):
+    return f"{value:.{digits}f}"
+
+
+def _waterfall(incident, width=44):
+    """One scaled bar: phases drawn left to right across the span."""
+    span = incident.span
+    phases = incident.phases()
+    if span <= 0:
+        return "|" + "".ljust(width) + "|"
+    cells = []
+    for phase, glyph in _PHASE_GLYPHS:
+        n = int(round(phases[phase] / span * width))
+        cells.append(glyph * n)
+    bar = "".join(cells)[:width]
+    return "|" + bar.ljust(width) + "|"
+
+
+def summarize_incidents(incidents, waterfall_width=44):
+    """Per-incident table + phase waterfall + aggregate line; one string."""
+    lines = [f"{len(incidents)} incident(s)"]
+    if not incidents:
+        return "\n".join(lines)
+
+    rows = []
+    for incident in incidents:
+        phases = incident.phases()
+        rows.append(
+            (
+                incident.id,
+                incident.key,
+                incident.server or "-",
+                incident.trigger,
+                _fmt_s(incident.opened_at),
+                _fmt_s(incident.span),
+                _fmt_s(phases["detection"]),
+                _fmt_s(phases["diagnosis"]),
+                _fmt_s(phases["recovery"]),
+                _fmt_s(phases["residual"]),
+                incident.reports,
+                len(incident.actions),
+                incident.closed_by or "open",
+            )
+        )
+    lines.append("")
+    lines.extend(
+        _table(
+            (
+                "id", "key", "server", "trigger", "opened", "span",
+                "detect", "diagnose", "recover", "residual", "reports",
+                "actions", "closed by",
+            ),
+            rows,
+        )
+    )
+
+    lines.append("")
+    lines.append(
+        "phase waterfall (d=detection D=diagnosis R=recovery r=residual):"
+    )
+    for incident in incidents:
+        ladder = "->".join(a["level"] for a in incident.actions) or "-"
+        lines.append(
+            f"  #{incident.id:<3} t={incident.opened_at:8.1f}s "
+            f"{_waterfall(incident, waterfall_width)} "
+            f"{incident.span:7.1f}s  {ladder}"
+        )
+
+    summary = aggregate_incidents(incidents)
+    lines.append("")
+    lines.append(
+        "closed by: "
+        + ", ".join(f"{k}={v}" for k, v in summary["closed_by"].items())
+    )
+    means = summary["mean_phases"]
+    lines.append(
+        f"mean span {summary['mean_span']}s = "
+        + " + ".join(f"{means[p]}s {p}" for p, _g in _PHASE_GLYPHS)
+    )
+    lines.append(
+        f"attributed: {summary['actions_attributed']} recovery action(s), "
+        f"{summary['reports_attributed']} report(s) "
+        f"(+{summary['suppressed_reports']} quarantine-suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def summarize_slo(windows, policy=None):
+    """Window series table + violations + aggregate line; one string."""
+    lines = []
+    if policy is not None:
+        lines.append(
+            f"policy: window={policy.window:g}s "
+            f"availability>={policy.availability_target:g} "
+            f"p99<={policy.latency_target:g}s "
+            f"(error budget {policy.error_budget:.4%}/window)"
+        )
+    lines.append(f"{len(windows)} window(s)")
+    if not windows:
+        return "\n".join(lines)
+
+    rows = []
+    for window in windows:
+        availability = window.availability
+        burn = window.burn
+        rows.append(
+            (
+                f"{window.start:g}-{window.end:g}",
+                window.good,
+                window.bad,
+                f"{availability:.4f}" if availability is not None else "-",
+                f"{window.gaw:.1f}",
+                f"{window.p50:.2f}" if window.p50 is not None else "-",
+                f"{window.p99:.2f}" if window.p99 is not None else "-",
+                ("inf" if burn == float("inf") else f"{burn:.1f}"),
+                "VIOLATED" if window.violated else "",
+            )
+        )
+    lines.append("")
+    lines.extend(
+        _table(
+            (
+                "window", "good", "bad", "avail", "gaw/s", "p50", "p99",
+                "burn", "",
+            ),
+            rows,
+        )
+    )
+
+    violations = [w for w in windows if w.violated]
+    lines.append("")
+    if violations:
+        lines.append(f"{len(violations)} violation(s):")
+        for window in violations:
+            lines.append(
+                f"  t={window.start:g}-{window.end:g}s: "
+                + "; ".join(window.reasons)
+            )
+    else:
+        lines.append("no violations")
+
+    summary = aggregate_slo(windows)
+    lines.append(
+        f"min availability {summary['min_availability']}, "
+        f"mean gaw {summary['mean_gaw']}/s, "
+        f"max burn {summary['max_burn']}"
+    )
+    return "\n".join(lines)

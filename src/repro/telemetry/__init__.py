@@ -21,6 +21,7 @@ counters:
 from repro.telemetry.export import (
     TimelineError,
     capture_to_jsonl,
+    load_timeline,
     read_timeline,
     summarize_timeline,
     write_timeline,
@@ -63,6 +64,7 @@ __all__ = [
     "TraceEvent",
     "all_buses",
     "capture_to_jsonl",
+    "load_timeline",
     "read_timeline",
     "set_default_spans",
     "set_default_tracing",

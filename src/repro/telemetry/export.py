@@ -8,6 +8,7 @@ events from several buses (figure-1 runs two kernels, one per policy); the
 
 import json
 from contextlib import contextmanager
+from pathlib import Path
 
 from repro.telemetry.spans import set_default_spans
 from repro.telemetry.trace import (
@@ -66,6 +67,28 @@ def read_timeline(path):
                     "(missing 't'/'kind' envelope)"
                 )
             records.append(record)
+    return records
+
+
+def load_timeline(path):
+    """Read a timeline for a CLI subcommand, with uniform error handling.
+
+    Wraps :func:`read_timeline` so every timeline-consuming subcommand
+    (``trace``, ``paths``, ``incidents``, ``slo``) reports bad input the
+    same way: missing, unreadable, corrupt, and empty files all raise
+    :class:`TimelineError` with a one-line message the CLI can print
+    verbatim (prefixed ``error:``) instead of a traceback.
+    """
+    if not Path(path).exists():
+        raise TimelineError(f"no such trace file: {path}")
+    try:
+        records = read_timeline(path)
+    except OSError as exc:
+        raise TimelineError(
+            f"cannot read {path}: {exc.strerror}"
+        ) from exc
+    if not records:
+        raise TimelineError(f"{path} is an empty timeline (0 events)")
     return records
 
 

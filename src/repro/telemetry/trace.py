@@ -55,6 +55,7 @@ STICKY_PREFIXES = (
     "chaos.",
     "ssm.crash",
     "ssm.restart",
+    "slo.",
 )
 
 #: Whether newly constructed buses start enabled (see set_default_tracing).

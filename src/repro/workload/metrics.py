@@ -139,7 +139,23 @@ class TawAccounting:
         return dict(self._bad_series)
 
     def requests_in_window(self, start, end):
-        """(good, bad) requests whose buckets fall in [start, end)."""
+        """(good, bad) requests whose buckets fall in ``[start, end)``.
+
+        Window-edge contract: **half-open on the bucket label**.  A request
+        is bucketed at ``int(completed_at)`` (falling back to ``issued_at``
+        when it never completed), and a bucket belongs to the window iff
+        ``start <= bucket < end``.  So consecutive windows
+        ``[0, w), [w, 2w), ...`` partition the run: every request is
+        counted in exactly one window, none is counted twice, and none
+        falls between windows.  The SLO engine
+        (:mod:`repro.observability.slo`) and the experiments' trailing-
+        window checks rely on this partition property; both use the same
+        convention for response-time stamps.
+
+        Note the comparison is against the integer bucket label, not the
+        raw timestamp: a request completing at t=9.7 lives in bucket 9 and
+        is therefore *inside* ``[0, 10)`` but *outside* ``[9.5, 10)``.
+        """
         good = sum(v for t, v in self._good_series.items() if start <= t < end)
         bad = sum(v for t, v in self._bad_series.items() if start <= t < end)
         return good, bad

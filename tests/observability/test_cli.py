@@ -1,0 +1,75 @@
+"""CLI surface: the `repro incidents` and `repro slo` subcommands."""
+
+import json
+
+from repro.cli import main
+from repro.telemetry import TraceBus, write_timeline
+
+
+def make_timeline(path):
+    bus = TraceBus(enabled=True, label="run")
+    bus.publish("fault.injected", target="Item", fault="corrupt-tx",
+                server="node1")
+    bus.publish("rm.report", url="/ebid/ViewItem", server="node1")
+    bus.publish("rm.decision", level="ejb", target=("Item",), server="node1")
+    bus.publish("rm.action.end", level="ejb", target=("Item",), ok=True,
+                duration=1.0, server="node1")
+    for i in range(4):
+        bus.publish("request.end", operation="ViewItem", ok=(i != 0),
+                    duration=0.3)
+    write_timeline(path, [bus])
+    return path
+
+
+def test_incidents_command_renders_table_and_waterfall(tmp_path, capsys):
+    path = make_timeline(tmp_path / "timeline.jsonl")
+    assert main(["incidents", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "1 incident(s)" in out
+    assert "phase waterfall" in out
+    assert "recovered" in out
+
+
+def test_incidents_command_writes_json_and_prom(tmp_path, capsys):
+    path = make_timeline(tmp_path / "timeline.jsonl")
+    json_out = tmp_path / "incidents.jsonl"
+    prom_out = tmp_path / "metrics.prom"
+    assert main(["incidents", str(path), "--json", str(json_out),
+                 "--prom", str(prom_out)]) == 0
+    records = [
+        json.loads(line)
+        for line in json_out.read_text(encoding="utf-8").splitlines()
+    ]
+    assert len(records) == 1 and records[0]["closed_by"] == "recovered"
+    prom = prom_out.read_text(encoding="utf-8")
+    assert "# TYPE repro_incidents_count counter" in prom
+    assert "repro_incidents_count 1" in prom
+
+
+def test_incidents_command_missing_file_is_a_clean_error(tmp_path, capsys):
+    assert main(["incidents", str(tmp_path / "nope.jsonl")]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "no such trace file" in err
+
+
+def test_slo_command_renders_windows(tmp_path, capsys):
+    path = make_timeline(tmp_path / "timeline.jsonl")
+    # All events land at t=0 on an unclocked bus: give the run an end so
+    # at least one full window exists.
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps({"t": 10.0, "seq": 99, "bus": "run",
+                             "kind": "run.end"}) + "\n")
+    assert main(["slo", str(path), "--window", "5",
+                 "--availability", "0.9"]) == 0
+    out = capsys.readouterr().out
+    assert "policy: window=5s availability>=0.9" in out
+    assert "2 window(s)" in out
+    assert "VIOLATED" in out  # 1 bad of 4 requests < 0.9 availability
+
+
+def test_slo_command_empty_file_is_a_clean_error(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert main(["slo", str(path)]) == 2
+    assert "empty timeline" in capsys.readouterr().err

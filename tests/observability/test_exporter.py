@@ -1,0 +1,164 @@
+"""Exposition: Prometheus text rendering, JSONL export, timeline replay."""
+
+import json
+
+import pytest
+
+from repro.observability.exporter import (
+    incidents_from_timeline,
+    registry_from_observability,
+    render_prometheus,
+    write_incidents,
+)
+from repro.observability.incidents import IncidentTracker
+from repro.observability.slo import SloPolicy, compute_windows
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import TraceBus
+from repro.telemetry.export import write_timeline
+
+URL_PATH_MAP = {"/ebid/ViewItem": ("EbidWAR", "ViewItem", "Item")}
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def test_render_prometheus_counters_gauges_and_families_exactly():
+    registry = MetricsRegistry()
+    registry.counter("taw.requests.good").inc(42)
+    registry.gauge("slo.max_burn").set(1.25)
+    family = registry.family("incidents.by_closed_by")
+    family.inc("recovered", 3)
+    family.inc("failover")
+    assert render_prometheus(registry) == (
+        "# TYPE repro_incidents_by_closed_by counter\n"
+        'repro_incidents_by_closed_by{key="failover"} 1\n'
+        'repro_incidents_by_closed_by{key="recovered"} 3\n'
+        "# TYPE repro_slo_max_burn gauge\n"
+        "repro_slo_max_burn 1.25\n"
+        "# TYPE repro_taw_requests_good counter\n"
+        "repro_taw_requests_good 42\n"
+    )
+
+
+def test_render_prometheus_histogram_as_summary():
+    registry = MetricsRegistry()
+    hist = registry.histogram("taw.response_time")
+    for value in (0.1, 0.2, 0.3, 4.0):
+        hist.observe(value)
+    text = render_prometheus(registry)
+    assert "# TYPE repro_taw_response_time summary" in text
+    assert 'repro_taw_response_time{quantile="0.5"}' in text
+    assert 'repro_taw_response_time{quantile="0.99"}' in text
+    assert "repro_taw_response_time_count 4" in text
+    assert "repro_taw_response_time_sum" in text
+
+
+def test_render_prometheus_is_deterministic_and_escapes_labels():
+    registry = MetricsRegistry()
+    registry.family("f").inc('we"ird\nlabel')
+    first = render_prometheus(registry)
+    assert first == render_prometheus(registry)
+    assert '\\"' in first and "\\n" in first
+
+
+def test_render_prometheus_empty_registry_is_empty_string():
+    assert render_prometheus(MetricsRegistry()) == ""
+
+
+def test_registry_from_observability_folds_both_sources():
+    tracker = IncidentTracker(url_path_map=URL_PATH_MAP)
+    tracker.feed(0.0, "fault.injected", {"target": "Item", "fault": "x",
+                                         "server": "node1"})
+    tracker.feed(2.0, "rm.action.end", {"level": "ejb", "target": ("Item",),
+                                        "ok": True, "duration": 1.0,
+                                        "server": "node1"})
+    incidents = tracker.finalize()
+    windows = compute_windows(
+        {0: 9}, {0: 1}, [], 10.0,
+        policy=SloPolicy(window=10.0, availability_target=0.99),
+    )
+    registry = registry_from_observability(incidents, windows)
+    assert registry.counter("incidents.count").value == 1
+    assert registry.family("incidents.by_trigger").get("fault") == 1
+    assert registry.family("incidents.by_closed_by").get("recovered") == 1
+    assert registry.counter("slo.windows").value == 1
+    assert registry.counter("slo.violations").value == 1
+    assert registry.gauge("slo.max_burn").value == pytest.approx(10.0)
+    # Phase seconds sum to the incident spans.
+    phase_total = sum(
+        registry.family("incidents.phase_seconds").as_dict().values()
+    )
+    assert phase_total == pytest.approx(sum(i.span for i in incidents))
+
+
+# ----------------------------------------------------------------------
+# JSONL export
+# ----------------------------------------------------------------------
+
+def test_write_incidents_jsonl_round_trip(tmp_path):
+    tracker = IncidentTracker(url_path_map=URL_PATH_MAP)
+    tracker.feed(0.0, "fault.injected", {"target": "Item", "fault": "x",
+                                         "server": "node1"})
+    tracker.feed(2.0, "rm.action.end", {"level": "ejb", "target": ("Item",),
+                                        "ok": True, "duration": 1.0,
+                                        "server": "node1"})
+    incidents = tracker.finalize()
+    path = tmp_path / "incidents.jsonl"
+    assert write_incidents(path, incidents) == 1
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 1
+    record = json.loads(lines[0])
+    assert record["key"] == "Item"
+    assert record["closed_by"] == "recovered"
+
+
+# ----------------------------------------------------------------------
+# Timeline replay
+# ----------------------------------------------------------------------
+
+def test_incidents_from_timeline_matches_live_stitching(tmp_path):
+    bus = TraceBus(enabled=True, label="run")
+    live = IncidentTracker(bus=bus, url_path_map=URL_PATH_MAP)
+    bus.publish("fault.injected", target="Item", fault="x", server="node1")
+    bus.publish("rm.report", url="/ebid/ViewItem", server="node1")
+    bus.publish("rm.decision", level="ejb", target=("Item",), server="node1")
+    bus.publish("rm.action.end", level="ejb", target=("Item",), ok=True,
+                duration=1.0, server="node1")
+    bus.publish("request.end", operation="ViewItem", ok=True, duration=0.1)
+    path = tmp_path / "timeline.jsonl"
+    write_timeline(path, [bus])
+    with open(path, encoding="utf-8") as fh:
+        records = [json.loads(line) for line in fh]
+
+    replayed = incidents_from_timeline(records, url_path_map=URL_PATH_MAP)
+    live_incidents = live.finalize()
+    assert [i.to_dict() for i in replayed] == [
+        i.to_dict() for i in live_incidents
+    ]
+
+
+def test_incidents_from_timeline_keeps_buses_apart():
+    """One bus's recovery must not close or join another bus's incident."""
+    records = [
+        {"t": 0.0, "seq": 0, "bus": "a", "kind": "fault.injected",
+         "target": "Item", "fault": "x", "server": "node1"},
+        {"t": 0.0, "seq": 0, "bus": "b", "kind": "fault.injected",
+         "target": "Item", "fault": "x", "server": "node1"},
+        {"t": 2.0, "seq": 1, "bus": "a", "kind": "rm.action.end",
+         "level": "ejb", "target": ["Item"], "ok": True, "duration": 1.0,
+         "server": "node1"},
+    ]
+    incidents = incidents_from_timeline(records, url_path_map=URL_PATH_MAP)
+    assert len(incidents) == 2
+    assert [i.id for i in incidents] == [1, 2]  # renumbered across buses
+    by_closed = sorted(i.closed_by for i in incidents)
+    assert by_closed == ["quiesced", "recovered"]
+
+
+def test_incidents_from_timeline_ignores_untracked_kinds():
+    records = [
+        {"t": 0.0, "seq": 0, "bus": "a", "kind": "request.end", "ok": True},
+        {"t": 1.0, "seq": 1, "bus": "a", "kind": "span", "component": "X"},
+    ]
+    assert incidents_from_timeline(records) == []

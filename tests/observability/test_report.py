@@ -1,0 +1,73 @@
+"""Rendering: the `repro incidents` / `repro slo` text surfaces."""
+
+from repro.observability.incidents import IncidentTracker
+from repro.observability.report import summarize_incidents, summarize_slo
+from repro.observability.slo import SloPolicy, compute_windows
+
+URL_PATH_MAP = {"/ebid/ViewItem": ("EbidWAR", "ViewItem", "Item")}
+
+
+def stitched_incidents():
+    tracker = IncidentTracker(url_path_map=URL_PATH_MAP)
+    tracker.feed(100.0, "fault.injected", {"target": "Item", "fault": "x",
+                                           "server": "node1"})
+    tracker.feed(103.0, "rm.report", {"url": "/ebid/ViewItem",
+                                      "server": "node1"})
+    tracker.feed(104.0, "rm.decision", {"level": "ejb", "target": ("Item",),
+                                        "server": "node1"})
+    tracker.feed(106.0, "rm.action.end", {"level": "ejb", "target": ("Item",),
+                                          "ok": False, "duration": 2.0,
+                                          "server": "node1"})
+    tracker.feed(107.0, "rm.decision", {"level": "jvm", "target": ("Item",),
+                                        "server": "node1"})
+    tracker.feed(112.0, "rm.action.end", {"level": "jvm", "target": ("Item",),
+                                          "ok": True, "duration": 5.0,
+                                          "server": "node1"})
+    return tracker.finalize()
+
+
+def test_summarize_incidents_table_waterfall_and_aggregates():
+    out = summarize_incidents(stitched_incidents())
+    assert out.startswith("1 incident(s)")
+    assert "closed by" in out  # table header
+    assert "recovered" in out
+    assert "phase waterfall" in out
+    assert "ejb->jvm" in out  # the escalation ladder
+    assert "closed by: recovered=1" in out
+    assert "attributed: 2 recovery action(s), 1 report(s)" in out
+    # Deterministic: same incidents, same bytes.
+    assert out == summarize_incidents(stitched_incidents())
+
+
+def test_summarize_incidents_waterfall_bar_is_fixed_width():
+    out = summarize_incidents(stitched_incidents(), waterfall_width=20)
+    bars = [line for line in out.splitlines() if "|" in line]
+    assert bars
+    for line in bars:
+        left, right = line.index("|"), line.rindex("|")
+        assert right - left - 1 == 20
+
+
+def test_summarize_incidents_empty():
+    assert summarize_incidents([]) == "0 incident(s)"
+
+
+def test_summarize_slo_policy_violations_and_aggregate():
+    policy = SloPolicy(window=10.0, availability_target=0.99)
+    windows = compute_windows({0: 90, 10: 10}, {0: 10}, [], 20.0,
+                              policy=policy)
+    out = summarize_slo(windows, policy=policy)
+    assert "policy: window=10s availability>=0.99" in out
+    assert "2 window(s)" in out
+    assert "VIOLATED" in out
+    assert "1 violation(s):" in out
+    assert "t=0-10s:" in out
+    assert "min availability 0.9" in out
+    assert out == summarize_slo(windows, policy=policy)
+
+
+def test_summarize_slo_no_violations_and_empty():
+    windows = compute_windows({0: 10}, {}, [], 10.0,
+                              policy=SloPolicy(window=10.0))
+    assert "no violations" in summarize_slo(windows)
+    assert summarize_slo([]) == "0 window(s)"

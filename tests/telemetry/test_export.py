@@ -1,9 +1,13 @@
 """Tests for JSONL timeline export, capture scopes, and the summarizer."""
 
+import pytest
+
 from repro.sim import Kernel
 from repro.telemetry import (
+    TimelineError,
     TraceBus,
     capture_to_jsonl,
+    load_timeline,
     read_timeline,
     summarize_timeline,
     tracing_enabled_by_default,
@@ -60,6 +64,30 @@ def test_capture_to_jsonl_survives_kernel_garbage_collection(tmp_path):
         kernel.trace.publish("tick")
         del kernel  # capture scope keeps the bus alive for export
     assert len(read_timeline(path)) == 1
+
+
+def test_load_timeline_returns_records(tmp_path):
+    bus = TraceBus(enabled=True, label="run")
+    bus.publish("tick")
+    path = tmp_path / "timeline.jsonl"
+    write_timeline(path, [bus])
+    records = load_timeline(path)
+    assert len(records) == 1 and records[0]["kind"] == "tick"
+
+
+def test_load_timeline_classifies_errors(tmp_path):
+    with pytest.raises(TimelineError, match="no such trace file"):
+        load_timeline(tmp_path / "nope.jsonl")
+
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(TimelineError, match="empty timeline"):
+        load_timeline(empty)
+
+    unreadable = tmp_path / "dir.jsonl"
+    unreadable.mkdir()
+    with pytest.raises(TimelineError, match="cannot read"):
+        load_timeline(unreadable)
 
 
 def test_summarize_empty_timeline():

@@ -69,6 +69,44 @@ def test_requests_in_window():
     assert (good, bad) == (0, 1)
 
 
+def test_requests_in_window_edges_are_half_open():
+    """The [start, end) contract: window edges never double- or zero-count.
+
+    A request completing at exactly t=10 lives in bucket 10: it belongs
+    to [10, 20) and not to [0, 10) — the boundary bucket goes to exactly
+    one side.
+    """
+    metrics = TawAccounting()
+    metrics.record_action(action(ops=[op(issued=9.5, completed=10.0)]))
+    assert metrics.requests_in_window(0, 10) == (0, 0)
+    assert metrics.requests_in_window(10, 20) == (1, 0)
+
+
+def test_requests_in_window_partitions_the_run():
+    """Consecutive windows sum to the run total (no gaps, no overlaps)."""
+    metrics = TawAccounting()
+    for second in range(0, 30, 3):
+        metrics.record_action(
+            action(ops=[op(issued=second, completed=second + 0.5,
+                           ok=(second % 2 == 0))])
+        )
+    windows = [(0, 10), (10, 20), (20, 30)]
+    good = sum(metrics.requests_in_window(s, e)[0] for s, e in windows)
+    bad = sum(metrics.requests_in_window(s, e)[1] for s, e in windows)
+    assert good == metrics.good_requests
+    assert bad == metrics.failed_requests
+
+
+def test_requests_in_window_compares_bucket_labels_not_timestamps():
+    """Documented nuance: the comparison is on int bucket labels."""
+    metrics = TawAccounting()
+    metrics.record_action(action(ops=[op(issued=9.2, completed=9.7)]))
+    # t=9.7 lives in bucket 9: inside [0, 10) but outside [9.5, 10).
+    assert metrics.requests_in_window(0, 10) == (1, 0)
+    assert metrics.requests_in_window(9.5, 10) == (0, 0)
+    assert metrics.requests_in_window(9, 10) == (1, 0)
+
+
 def test_operations_mix():
     metrics = TawAccounting()
     metrics.record_action(action(ops=[op("ViewItem"), op("ViewItem"),
