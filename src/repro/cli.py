@@ -135,7 +135,9 @@ def build_parser():
     incidents = sub.add_parser(
         "incidents",
         help="stitch a JSONL timeline into incidents with per-phase MTTR "
-             "decomposition (detection/diagnosis/recovery/residual)",
+             "decomposition (detection/diagnosis/recovery/residual); the "
+             "waterfall marks incidents whose recovery windows overlap "
+             "(|| = concurrent recovery under the parallel scheduler)",
     )
     incidents.add_argument("file", type=Path)
     incidents.add_argument("--json", type=Path, default=None,

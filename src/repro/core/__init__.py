@@ -6,6 +6,9 @@
   application, preserving classloaders and session state.
 * :class:`~repro.core.recovery_groups` — transitive closure of inter-EJB
   dependencies from deployment descriptors.
+* :class:`~repro.core.recovery_graph.RecoveryGraph` — merged static +
+  observed dependency graph; decides which recovery targets are
+  independent enough to microreboot concurrently.
 * :class:`~repro.core.recovery_manager.RecoveryManager` — score-based
   diagnosis plus the recursive recovery policy (EJB → WAR → application →
   JVM → OS → human).
@@ -19,6 +22,7 @@
 from repro.core.hardening import HardeningPolicy, RecoveryStormLimiter
 from repro.core.microcheckpoint import MicrocheckpointStore
 from repro.core.microreboot import MicrorebootCoordinator, RebootEvent
+from repro.core.recovery_graph import RecoveryGraph
 from repro.core.recovery_groups import compute_recovery_groups
 from repro.core.recovery_manager import (
     FailureKind,
@@ -37,6 +41,7 @@ __all__ = [
     "MicrorebootCoordinator",
     "RebootEvent",
     "RecoveryAction",
+    "RecoveryGraph",
     "RecoveryManager",
     "RecoveryStormLimiter",
     "RejuvenationService",

@@ -60,6 +60,11 @@ class HardeningPolicy:
         storm_window_limit: cap on recovery actions *started* within
             ``storm_window`` — looser than ``storm_limit`` (serial
             recoveries are normal; a cluster-wide stampede is not).
+        parallel_recovery: run the recovery manager's dependency-aware
+            parallel scheduler — independent components microreboot
+            concurrently (the storm limiter is the global concurrency
+            cap) while actions within one dependency group stay
+            serialized on a per-group escalation ladder.
         shed_degraded: the load balancer sheds or reroutes
             non-session-critical requests away from degraded nodes.
         shed_latency: mean forwarded-response latency (seconds) above
@@ -88,6 +93,7 @@ class HardeningPolicy:
     storm_limit: int = 2
     storm_window: float = 60.0
     storm_window_limit: int = 8
+    parallel_recovery: bool = False
     shed_degraded: bool = True
     shed_latency: float = 0.4
     shed_failure_threshold: int = 6
@@ -123,6 +129,11 @@ class HardeningPolicy:
     def hardened(cls):
         """Every safeguard on, with the defaults above."""
         return cls(enabled=True)
+
+    @classmethod
+    def parallel(cls):
+        """Hardened defaults plus the dependency-aware parallel scheduler."""
+        return cls(enabled=True, parallel_recovery=True)
 
 
 class RecoveryStormLimiter:

@@ -1,0 +1,159 @@
+"""The component dependency graph behind dependency-aware recovery.
+
+The recursive policy (§4) recovers one target at a time, so MTTR under a
+multi-component failure grows linearly with the number of failed
+components.  Recovering *independent* components concurrently is safe —
+the follow-on parallel-recovery argument — but only when "independent" is
+judged against the real dependency structure:
+
+* **static edges** come from the deployment descriptors: ``references``
+  (session bean → the beans it calls) and ``group_references`` (the §3.2
+  recovery-group coupling, treated as undirected because either endpoint
+  being recycled invalidates the shared metadata);
+* **live edges** come from the Pinpoint-style
+  :class:`~repro.diagnosis.path_analysis.PathAnalyzer`, whose observed
+  call paths surface dependencies the descriptors never declared.
+
+Two target sets *conflict* — and their recoveries must stay serialized —
+when they intersect, or when any component of one can reach a component of
+the other along the merged edge set in either direction
+(ancestor/descendant).  Components with no such relationship form
+independent recovery domains and may microreboot concurrently.
+
+Everything here is deterministic: iteration is over sorted names, so the
+same descriptors and observations always produce the same partition and
+the same group keys — part of the same-seed ⇒ same-trace contract.
+"""
+
+from repro.core.recovery_groups import compute_recovery_groups
+
+
+class RecoveryGraph:
+    """Merged static + observed dependency graph over one application.
+
+    Args:
+        descriptors: the application's deployment descriptors.
+        analyzer: optional :class:`PathAnalyzer`; its
+            :meth:`dependency_graph` contributes live observed call edges
+            (re-read on every query, so the graph tracks the analyzer's
+            sliding window).
+    """
+
+    def __init__(self, descriptors, analyzer=None):
+        self.analyzer = analyzer
+        self.nodes = tuple(sorted(d.name for d in descriptors))
+        self.groups = compute_recovery_groups(descriptors)
+        #: Static adjacency (directed): references point caller → callee;
+        #: group references couple both ways.
+        self._static = {name: set() for name in self.nodes}
+        for descriptor in descriptors:
+            for ref in descriptor.references:
+                if ref in self._static:
+                    self._static[descriptor.name].add(ref)
+            for ref in descriptor.group_references:
+                self._static[descriptor.name].add(ref)
+                self._static[ref].add(descriptor.name)
+
+    # ------------------------------------------------------------------
+    # Edges and reachability
+    # ------------------------------------------------------------------
+    def _adjacency(self):
+        """Static edges merged with the analyzer's observed call edges."""
+        adjacency = {name: set(edges) for name, edges in self._static.items()}
+        if self.analyzer is not None:
+            for parent, children in self.analyzer.dependency_graph().items():
+                for child in children:
+                    if parent != child:
+                        adjacency.setdefault(parent, set()).add(child)
+        return adjacency
+
+    def descendants(self, name):
+        """Transitive closure of ``name`` over the merged edges."""
+        adjacency = self._adjacency()
+        seen = set()
+        frontier = [name]
+        while frontier:
+            node = frontier.pop()
+            for child in adjacency.get(node, ()):
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        seen.discard(name)
+        return seen
+
+    def related(self, a, b):
+        """True when ``a`` and ``b`` must never recover concurrently."""
+        if a == b:
+            return True
+        if self.groups.get(a) is not None and self.groups.get(a) == self.groups.get(b):
+            return True
+        return b in self.descendants(a) or a in self.descendants(b)
+
+    def conflicts(self, targets_a, targets_b):
+        """Do two recovery target sets belong to the same dependency group?
+
+        True when the sets intersect or any cross pair is
+        ancestor/descendant over the merged edges — the condition under
+        which their recoveries must stay serialized.
+        """
+        set_a, set_b = set(targets_a), set(targets_b)
+        if not set_a or not set_b:
+            return False
+        if set_a & set_b:
+            return True
+        for a in sorted(set_a):
+            for b in sorted(set_b):
+                if self.related(a, b):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Deterministic grouping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def group_key(targets):
+        """Canonical (deterministic) ladder key for a target set."""
+        return min(targets)
+
+    def partition(self, names):
+        """Split ``names`` into independent recovery domains.
+
+        Returns a sorted list of sorted tuples: two names land in the same
+        tuple exactly when their (transitively merged) target sets
+        conflict.  Deterministic for a given graph state.
+        """
+        remaining = sorted(set(names))
+        domains = []
+        for name in remaining:
+            merged = None
+            for domain in domains:
+                if any(self.related(name, member) for member in domain):
+                    merged = domain
+                    break
+            if merged is None:
+                domains.append({name})
+            else:
+                merged.add(name)
+                # Absorbing a name can bridge two previously-separate
+                # domains; re-merge until stable.
+                changed = True
+                while changed:
+                    changed = False
+                    for other in domains:
+                        if other is merged:
+                            continue
+                        if any(
+                            self.related(a, b)
+                            for a in merged
+                            for b in other
+                        ):
+                            merged |= other
+                            domains.remove(other)
+                            changed = True
+                            break
+        return sorted(tuple(sorted(domain)) for domain in domains)
+
+    def __repr__(self):
+        edges = sum(len(children) for children in self._static.values())
+        live = "+live" if self.analyzer is not None else ""
+        return f"<RecoveryGraph {len(self.nodes)} nodes {edges} edges{live}>"

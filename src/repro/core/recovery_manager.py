@@ -21,12 +21,32 @@ the static map with the live Pinpoint-style anomaly ranking of a
 are picked by observed failed-vs-successful path membership, falling back
 to the static map while too few paths have been observed.  The static mode
 stays the default so the paper's Table 1–4 experiments reproduce unchanged.
+
+The RM runs one of two schedulers:
+
+* ``"serial"`` (default, the paper's §4 pipeline): one recovery at a
+  time; reports queued during a recovery are stale and dropped.
+* ``"parallel"`` (dependency-aware): independent components microreboot
+  concurrently, judged against a
+  :class:`~repro.core.recovery_graph.RecoveryGraph` of static descriptor
+  edges merged with the analyzer's observed call paths.  Actions within
+  one dependency group stay serialized on a per-group escalation ladder;
+  the node-wide rungs (WAR and coarser) are node-exclusive; the shared
+  storm limiter is the global concurrency cap.  Backoff, quarantine and
+  defer semantics are unchanged and per target.  Dispatch demands a
+  localized culprit: a *specific* (non-web) component must cross the
+  score threshold, or unlocalized evidence must reach twice the
+  threshold, before anything runs — so a multi-component burst is not
+  coarsened just because every failing path crosses the WAR.  Dispatch
+  order is deterministic (sorted group keys, one dispatch per report),
+  preserving the same-seed ⇒ same-trace contract.
 """
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.hardening import HardeningPolicy
+from repro.core.recovery_graph import RecoveryGraph
 from repro.diagnosis.path_analysis import PathAnalyzer
 from repro.sim.resources import Queue
 from repro.telemetry.metrics import MetricsRegistry
@@ -76,6 +96,38 @@ class RecoveryAction:
         return self.error is None
 
 
+@dataclass
+class _GroupLadder:
+    """Escalation state for one dependency group (parallel scheduler).
+
+    The serial scheduler keeps one incident's worth of this state in the
+    RM itself; the parallel scheduler keeps one ladder per dependency
+    group (keyed by the group's canonical name) plus a single node ladder
+    for the node-wide rungs, so two independent components escalating at
+    once never share attempts, tried sets, or level state.
+    """
+
+    key: str
+    last_action_end: float = None
+    last_level_index: int = -1
+    last_action_ok: bool = True
+    tried: set = field(default_factory=set)
+    ejb_attempts: int = 0
+
+
+@dataclass
+class _Inflight:
+    """One dispatched-but-unfinished recovery (parallel scheduler)."""
+
+    action: "RecoveryAction"
+    level_index: int
+    ladder: _GroupLadder
+    #: Expanded component targets, or None for node-exclusive coarse
+    #: actions (which conflict with everything).
+    targets: frozenset = None
+    candidate: str = None
+
+
 #: The recursive policy's escalation ladder (§4).
 LEVELS = ("ejb", "war", "application", "jvm", "os", "human")
 
@@ -109,6 +161,8 @@ class RecoveryManager:
         path_analyzer=None,
         hardening=None,
         storm_limiter=None,
+        scheduler=None,
+        recovery_graph=None,
     ):
         if policy not in ("recursive", "process-restart"):
             raise ValueError(f"unknown recovery policy {policy!r}")
@@ -184,6 +238,39 @@ class RecoveryManager:
         #: Audit log of every EJB-level target choice: which mode produced
         #: it and what the analyzer saw at that moment.
         self.diagnosis_log = []
+
+        #: "serial" (the paper's one-at-a-time pipeline) or "parallel"
+        #: (dependency-aware concurrent dispatch).  Defaults to whatever
+        #: the hardening policy asks for.
+        if scheduler is None:
+            scheduler = (
+                "parallel" if self.hardening.parallel_recovery else "serial"
+            )
+        if scheduler not in ("serial", "parallel"):
+            raise ValueError(f"unknown recovery scheduler {scheduler!r}")
+        if scheduler == "parallel" and policy != "recursive":
+            raise ValueError(
+                "the parallel scheduler requires the recursive policy "
+                "(process-restart has no per-group ladder to parallelize)"
+            )
+        self.scheduler = scheduler
+        self.recovery_graph = recovery_graph
+        if scheduler == "parallel" and self.recovery_graph is None:
+            self.recovery_graph = RecoveryGraph(
+                self.server.descriptors_for(coordinator.app_name),
+                analyzer=self.path_analyzer,
+            )
+
+        #: Parallel-scheduler state (untouched in serial mode): one
+        #: escalation ladder per dependency group plus the node ladder
+        #: for the node-wide rungs; in-flight dispatches; per-component
+        #: staleness cutoffs.
+        self._ladders = {}
+        self._node_ladder = _GroupLadder("node")
+        self._inflight = []
+        self._component_last_end = {}
+        self._node_last_end = None
+        self._dispatch_seq = 0
 
         self.inbox = Queue(kernel)
         self.scores = {}
@@ -354,18 +441,8 @@ class RecoveryManager:
                 failure=report.kind.value,
                 client=report.client_id,
             )
-            if self._last_action_end is not None:
-                if report.time < self._last_action_end:
-                    self._reports_stale.inc()
-                    continue  # stale: the failure predates the last recovery
-                if (
-                    report.kind is FailureKind.APP_SPECIFIC
-                    and report.time < self._last_action_end + self.post_recovery_grace
-                ):
-                    # Expected aftermath: a session-destroying recovery
-                    # produces one login prompt per client; give the
-                    # population time to re-log-in before reacting.
-                    continue
+            if self._is_stale(report):
+                continue
             if self.quarantined and self._explained_by_quarantine(report):
                 # The failure is already explained: a quarantined (flapping)
                 # component sits on the failed URL's path and is answering
@@ -379,8 +456,52 @@ class RecoveryManager:
                 )
                 continue
             self._score(report)
-            if self._should_act(report):
+            if self.scheduler == "parallel":
+                self._dispatch_parallel(report)
+            elif self._should_act(report):
                 yield from self._recover(report)
+
+    def _is_stale(self, report):
+        """Drop reports that predate the recovery that would answer them.
+
+        Serial mode judges against the single last action.  Parallel mode
+        judges per component: a report is stale only if it predates the
+        last finished recovery of a component *on its own path* (or the
+        last node-wide recovery) — evidence about one group must not be
+        discarded because an independent group just finished recovering.
+        """
+        if self.scheduler == "parallel":
+            cutoff = self._node_last_end or 0.0
+            for component in self.path_for_url(report.url):
+                cutoff = max(
+                    cutoff, self._component_last_end.get(component, 0.0)
+                )
+            if report.time < cutoff:
+                self._reports_stale.inc()
+                return True
+            if (
+                self._node_last_end is not None
+                and report.kind is FailureKind.APP_SPECIFIC
+                and report.time < self._node_last_end + self.post_recovery_grace
+            ):
+                # Login prompts are the aftermath of session-destroying
+                # (node-wide) recoveries; µRBs preserve sessions, so only
+                # coarse actions open the grace window here.
+                return True
+            return False
+        if self._last_action_end is not None:
+            if report.time < self._last_action_end:
+                self._reports_stale.inc()
+                return True  # stale: the failure predates the last recovery
+            if (
+                report.kind is FailureKind.APP_SPECIFIC
+                and report.time < self._last_action_end + self.post_recovery_grace
+            ):
+                # Expected aftermath: a session-destroying recovery
+                # produces one login prompt per client; give the
+                # population time to re-log-in before reacting.
+                return True
+        return False
 
     def _should_act(self, report):
         if self.recovering or self.human_notified:
@@ -493,25 +614,34 @@ class RecoveryManager:
             return self._defer("storm", level, ())
         admitted = self.storm_limiter is not None and level != "human"
 
-        if level == "ejb":
-            target = tuple(self.coordinator.expand_targets([candidate]))
-            self._tried_this_incident |= set(target)
-            self._ejb_attempts_this_incident += 1
-
         action = RecoveryAction(
-            decided_at=now, level=level, target=target, trigger=report.kind
-        )
-        self.kernel.trace.publish(
-            "rm.decision",
-            server=self.server.name,
+            decided_at=now,
             level=level,
-            target=action.target,
-            trigger=report.kind.value,
+            target=(candidate,) if candidate is not None else target,
+            trigger=report.kind,
         )
         self.recovering = True
-        for listener in self.begin_listeners:
-            listener(action)
         try:
+            # Everything from here on runs inside the action: group
+            # expansion can raise (a stale URL-map name unknown to the
+            # coordinator), and when it does the admitted storm-limiter
+            # slot must still be released and the candidate's backoff key
+            # must still advance — otherwise storms of failing actions
+            # wedge the limiter.
+            if level == "ejb":
+                target = tuple(self.coordinator.expand_targets([candidate]))
+                action.target = target
+                self._tried_this_incident |= set(target)
+                self._ejb_attempts_this_incident += 1
+            self.kernel.trace.publish(
+                "rm.decision",
+                server=self.server.name,
+                level=level,
+                target=action.target,
+                trigger=report.kind.value,
+            )
+            for listener in self.begin_listeners:
+                listener(action)
             if level == "ejb":
                 yield from self.coordinator.microreboot(list(target))
             elif level == "war":
@@ -574,6 +704,317 @@ class RecoveryManager:
                 listener(action)
 
     # ------------------------------------------------------------------
+    # The parallel scheduler (dependency-aware concurrent dispatch)
+    # ------------------------------------------------------------------
+    def _ladder_for(self, targets):
+        key = self.recovery_graph.group_key(targets)
+        ladder = self._ladders.get(key)
+        if ladder is None:
+            ladder = _GroupLadder(key)
+            self._ladders[key] = ladder
+        return ladder
+
+    def _reset_stale_ladders(self, now):
+        """Groups quiet past the escalation window start fresh incidents."""
+        for key in sorted(self._ladders):
+            ladder = self._ladders[key]
+            if any(entry.ladder is ladder for entry in self._inflight):
+                continue
+            if (
+                ladder.last_action_end is not None
+                and now - ladder.last_action_end > self.escalation_window
+            ):
+                del self._ladders[key]
+
+    def _conflicts(self, targets, entry):
+        if entry.targets is None:
+            return True  # node-exclusive coarse action blocks everything
+        return self.recovery_graph.conflicts(targets, entry.targets)
+
+    def _dispatch_parallel(self, report):
+        """Start at most one recovery for this report, without blocking.
+
+        The dependency-aware twin of the serial ``_should_act`` +
+        ``_recover`` pair: a hot candidate whose dependency group is
+        already recovering is skipped (its group stays serialized) and the
+        next-hottest *independent* candidate is considered instead, so one
+        report can only ever start a recovery in a group that is idle.
+        Candidates are re-diagnosed from the current scores on every
+        dispatch — a deferred recovery never acts on a candidate captured
+        earlier.
+
+        Unlike the serial ladder, dispatch demands a *localized* culprit:
+        during a multi-component burst every failing path crosses the web
+        component, so its raw score crosses threshold while the specific
+        beans are still accumulating — and acting on that alone would
+        coarsen exactly the incidents this scheduler exists to keep
+        fine-grained.  Unlocalized evidence must therefore reach twice
+        the threshold before the node-wide rungs are considered.
+        """
+        if self.human_notified:
+            return
+        now = self.kernel.now
+        resource = report.kind is FailureKind.RESOURCE_EXHAUSTION
+        if not resource:
+            war = self.server.web_component_name
+            specific = any(
+                score >= self.score_threshold
+                for name, score in self.scores.items()
+                if name != war
+            )
+            coarse_demand = any(
+                score >= 2 * self.score_threshold
+                for score in self.scores.values()
+            )
+            if not specific and not coarse_demand:
+                return
+        self._reset_stale_ladders(now)
+        exclude = self.active_quarantines()
+        for ladder in self._ladders.values():
+            exclude |= ladder.tried
+        skip = set()
+        while True:
+            if resource:
+                candidate = self._biggest_leaker()
+                if candidate is not None and self._in_backoff(candidate, now):
+                    self._flap_strike(candidate)
+                    return self._defer("backoff", "ejb", (candidate,))
+                if candidate in exclude | skip:
+                    candidate = None
+            else:
+                candidate = self._candidate(exclude | skip, record=True)
+            if candidate is None:
+                return self._dispatch_coarse(report, now, resource)
+            try:
+                targets = frozenset(
+                    self.coordinator.expand_targets([candidate])
+                )
+            except Exception:  # noqa: BLE001 — unknown to the coordinator
+                # (e.g. a stale URL-map name): dispatch the bare candidate
+                # anyway; the execution hits the same error, records an
+                # errored action, and still advances the candidate's
+                # backoff key.
+                targets = frozenset((candidate,))
+            ladder = self._ladder_for(targets)
+            if (
+                not ladder.last_action_ok
+                or ladder.ejb_attempts >= self.max_ejb_attempts
+            ):
+                # This group's fine grain is spent within its incident:
+                # walk the node-wide rungs instead.
+                return self._dispatch_coarse(report, now, resource)
+            if not resource and self._in_backoff(candidate, now):
+                self._flap_strike(candidate)
+                return self._defer("backoff", "ejb", (candidate,))
+            if any(self._conflicts(targets, entry) for entry in self._inflight):
+                if resource:
+                    return  # its group is mid-recovery: wait, don't coarsen
+                # Same dependency group already recovering: stay
+                # serialized within the group, look for an independent
+                # candidate instead.
+                skip |= targets
+                skip.add(candidate)
+                continue
+            if (
+                self.storm_limiter is not None
+                and not self.storm_limiter.admit(who=self.server.name)
+            ):
+                # The storm limiter is the global concurrency cap.
+                # Deferred, not cancelled: scores survive, and the next
+                # report re-diagnoses from scratch.
+                return self._defer("storm", "ejb", (candidate,))
+            admitted = self.storm_limiter is not None
+            ladder.tried |= targets
+            ladder.ejb_attempts += 1
+            action = RecoveryAction(
+                decided_at=now,
+                level="ejb",
+                target=(candidate,),
+                trigger=report.kind,
+            )
+            entry = _Inflight(
+                action=action,
+                level_index=0,
+                ladder=ladder,
+                targets=targets,
+                candidate=candidate,
+            )
+            self._inflight.append(entry)
+            self.recovering = True
+            self._dispatch_seq += 1
+            self.kernel.process(
+                self._execute(entry, admitted),
+                name=f"rm-{self.server.name}-recovery-{self._dispatch_seq}",
+            )
+            return
+
+    def _dispatch_coarse(self, report, now, resource):
+        """The node-wide rungs (WAR and coarser) are node-exclusive."""
+        if self._inflight:
+            # Wait for the in-flight recoveries: scores survive, so the
+            # escalation is retried on the next report once the node is
+            # quiet.
+            return
+        hardening = self.hardening
+        level_index = self._node_level_index(now)
+        level = LEVELS[level_index]
+        if hardening.enabled and level == "war" and not resource:
+            # Same flap check as the serial ladder: when the hottest
+            # candidate overall is a component still in backoff, the last
+            # recovery evidently did not stick — grounds for waiting (and
+            # eventually quarantining), not for a far more disruptive
+            # level.
+            hot = self._candidate(self.active_quarantines())
+            if hot is not None and self._in_backoff(hot, now):
+                self._flap_strike(hot)
+                return self._defer("backoff", level, (hot,))
+        if hardening.enabled and level != "human":
+            key = "node" if level in NODE_WIDE_LEVELS else level
+            if now < self._backoff_until.get(key, 0.0):
+                return self._defer("backoff", level, ())
+        if (
+            self.storm_limiter is not None
+            and level != "human"
+            and not self.storm_limiter.admit(who=self.server.name)
+        ):
+            return self._defer("storm", level, ())
+        admitted = self.storm_limiter is not None and level != "human"
+        action = RecoveryAction(
+            decided_at=now, level=level, target=(), trigger=report.kind
+        )
+        entry = _Inflight(
+            action=action,
+            level_index=level_index,
+            ladder=self._node_ladder,
+            targets=None,
+        )
+        self._inflight.append(entry)
+        self.recovering = True
+        self._dispatch_seq += 1
+        self.kernel.process(
+            self._execute(entry, admitted),
+            name=f"rm-{self.server.name}-recovery-{self._dispatch_seq}",
+        )
+
+    def _node_level_index(self, now):
+        """The node ladder's next rung (never finer than the WAR)."""
+        ladder = self._node_ladder
+        war = LEVELS.index("war")
+        if (
+            ladder.last_action_end is None
+            or now - ladder.last_action_end > self.escalation_window
+        ):
+            ladder.last_level_index = -1
+            ladder.last_action_ok = True
+            return war
+        return min(max(ladder.last_level_index + 1, war), len(LEVELS) - 1)
+
+    def _execute(self, entry, admitted):
+        """Process body: run one dispatched recovery to completion.
+
+        The parallel twin of :meth:`_recover`'s act/record half — same
+        try/except/finally contract (an errored action is recorded, its
+        storm slot released, its backoff advanced) — but completion
+        bookkeeping is scoped to the entry's ladder and targets instead
+        of global incident state.
+        """
+        action = entry.action
+        level = action.level
+        ladder = entry.ladder
+        try:
+            if level == "ejb":
+                action.target = tuple(
+                    self.coordinator.expand_targets([entry.candidate])
+                )
+            self.kernel.trace.publish(
+                "rm.decision",
+                server=self.server.name,
+                level=level,
+                target=action.target,
+                trigger=action.trigger.value,
+            )
+            for listener in self.begin_listeners:
+                listener(action)
+            if level == "ejb":
+                yield from self.coordinator.microreboot(list(action.target))
+            elif level == "war":
+                event = yield from self.coordinator.microreboot_war()
+                action.target = event.components
+            elif level == "application":
+                event = yield from self.coordinator.restart_application()
+                action.target = event.components
+            elif level == "jvm":
+                yield from self._restart_jvm()
+            elif level == "os":
+                yield from self._reboot_os()
+            else:  # human
+                self.human_notified = True
+        except Exception as exc:  # noqa: BLE001 — same contract as _recover
+            action.error = f"{type(exc).__name__}: {exc}"
+            self._action_errors.inc()
+            # The group's ladder must not keep excluding targets that were
+            # never actually recovered; the cleared ladder coarsens on the
+            # next report via last_action_ok.
+            ladder.tried = set()
+            ladder.ejb_attempts = 0
+        finally:
+            action.finished_at = self.kernel.now
+            self.actions.append(action)
+            self._actions_by_level.inc(level)
+            self._last_action_end = action.finished_at
+            ladder.last_action_end = action.finished_at
+            ladder.last_level_index = entry.level_index
+            ladder.last_action_ok = action.ok
+            self._inflight.remove(entry)
+            self.recovering = bool(self._inflight)
+            if level == "ejb":
+                recycled = set(action.target or ()) | set(entry.targets or ())
+                for component in recycled:
+                    self._component_last_end[component] = action.finished_at
+                self._forget_evidence(recycled)
+            else:
+                # The node itself was recycled: all evidence predates it.
+                self._node_last_end = action.finished_at
+                self._component_last_end = {}
+                self.scores = {}
+                self._recent_reports = []
+                if self.path_analyzer is not None:
+                    self.path_analyzer.clear()
+            self.kernel.trace.publish(
+                "rm.action.end",
+                server=self.server.name,
+                level=level,
+                target=action.target,
+                ok=action.ok,
+                error=action.error,
+                duration=action.finished_at - action.decided_at,
+            )
+            self._check_recurring()
+            if admitted:
+                self.storm_limiter.release()
+            if self.hardening.enabled and level != "human":
+                self._note_recovery(level, action)
+            for listener in self.listeners:
+                listener(action)
+
+    def _forget_evidence(self, components):
+        """Evidence through just-recycled components is stale; keep the rest.
+
+        The parallel counterpart of the serial scheduler's full score
+        wipe: only reports whose path touches the recovered components
+        are dropped, so independent groups keep the evidence their own
+        (possibly imminent) recoveries are based on.
+        """
+        self._recent_reports = [
+            entry
+            for entry in self._recent_reports
+            if not (set(entry[1]) & components)
+        ]
+        self._refresh_scores()
+        if self.path_analyzer is not None:
+            self.path_analyzer.forget(components)
+
+    # ------------------------------------------------------------------
     # Hardening: backoff, flap quarantine, storm deferral
     # ------------------------------------------------------------------
     def _defer(self, reason, level, targets):
@@ -623,8 +1064,19 @@ class RecoveryManager:
         return self.hardening.enabled and now < self._backoff_until.get(key, 0.0)
 
     def _explained_by_quarantine(self, report):
-        """True when a quarantined component sits on the report's path."""
-        active = self.active_quarantines()
+        """True when a quarantined component sits on the report's path.
+
+        Judged against the *report's own timestamp* with the half-open
+        ``[begin, until)`` contract (the TawAccounting convention used
+        throughout): a report stamped at exactly ``t == until`` is
+        post-quarantine evidence — the sentinel was already unbound when
+        the failure was observed — and must be scored, not suppressed.
+        """
+        active = {
+            name
+            for name, until in self.quarantined.items()
+            if until > report.time
+        }
         if not active:
             return False
         return bool(active & set(self.path_for_url(report.url)))

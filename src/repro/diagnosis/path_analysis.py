@@ -82,6 +82,22 @@ class PathAnalyzer:
     def clear(self):
         self._paths.clear()
 
+    def forget(self, components):
+        """Drop observations whose path touched any of ``components``.
+
+        The parallel recovery scheduler calls this when one dependency
+        group finishes recovering: evidence through the recycled
+        components is stale, but paths through independent groups keep
+        their statistical weight (a full :meth:`clear` would blind the
+        analyzer to every other concurrent incident).
+        """
+        targets = frozenset(components)
+        if not targets:
+            return
+        kept = [p for p in self._paths if not (p[1] & targets)]
+        self._paths.clear()
+        self._paths.extend(kept)
+
     # ------------------------------------------------------------------
     # The observation window
     # ------------------------------------------------------------------

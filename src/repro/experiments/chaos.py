@@ -12,13 +12,20 @@ SSM brick outage, all overlapping — twice, from the same seed:
   :class:`~repro.core.hardening.HardeningPolicy` enabled — exponential
   per-target µRB backoff, flap-detection quarantine, one cluster-wide
   :class:`~repro.core.hardening.RecoveryStormLimiter`, and graceful
-  degradation at the load balancer.
+  degradation at the load balancer;
+* **parallel-recovery** arm: the hardened rig with the recovery managers
+  running the dependency-aware parallel scheduler
+  (:class:`~repro.core.recovery_graph.RecoveryGraph`), so independent
+  components on one node microreboot concurrently instead of queueing
+  behind each other's escalation ladder.
 
-Both arms replay the *identical* precomputed fault schedule (the chaos
+Every arm replays the *identical* precomputed fault schedule (the chaos
 engine draws from dedicated RNG streams), so the only difference is how
 the recovery pipeline responds.  The headline comparison is goodput: the
 hardened pipeline should fail fewer client requests *and* execute fewer
-recovery actions — recovering less, and recovering better.
+recovery actions — recovering less, and recovering better — while the
+parallel arm should additionally shrink the recovery phase of
+multi-component incidents.
 """
 
 from repro.cluster.cluster import build_cluster
@@ -39,10 +46,31 @@ from repro.parallel import TrialSpec, run_campaign
 from repro.workload.client import ClientPopulation
 from repro.workload.markov import WorkloadProfile
 
-ARMS = ("seed", "hardened")
+ARMS = ("seed", "hardened", "parallel-recovery")
 
 #: Levels whose recovery takes the whole node out (LB fails over fully).
 NODE_WIDE_LEVELS = ("application", "jvm", "os")
+
+
+def _max_overlap(actions):
+    """Peak number of simultaneously in-flight recovery actions.
+
+    Sweep-line over [decided_at, finished_at) intervals; closing an
+    interval sorts before opening one at the same instant, so actions
+    that merely abut do not count as overlapping.
+    """
+    events = []
+    for action in actions:
+        if action.finished_at is None:
+            continue
+        events.append((action.decided_at, 1))
+        events.append((action.finished_at, -1))
+    events.sort(key=lambda e: (e[0], e[1]))
+    peak = active = 0
+    for _t, delta in events:
+        active += delta
+        peak = max(peak, active)
+    return peak
 
 
 class ChaosClusterRig:
@@ -54,13 +82,20 @@ class ChaosClusterRig:
         n_nodes=3,
         clients_per_node=30,
         hardened=False,
+        parallel=False,
         spec=None,
         observability=True,
     ):
-        self.hardening = (
-            HardeningPolicy.hardened() if hardened
-            else HardeningPolicy.disabled()
-        )
+        if parallel:
+            # The parallel scheduler rides on the hardened safeguards (the
+            # storm limiter is its global concurrency cap).
+            self.hardening = HardeningPolicy.parallel()
+            hardened = True
+        else:
+            self.hardening = (
+                HardeningPolicy.hardened() if hardened
+                else HardeningPolicy.disabled()
+            )
         self.cluster = build_cluster(
             n_nodes,
             seed=seed,
@@ -136,13 +171,26 @@ class ChaosClusterRig:
         a cluster the other nodes are healthy: keeping a MICRO failover
         window open for the quarantined components (§6.1) turns the
         quarantine from "requests fail fast" into "requests go elsewhere".
-        """
 
-        def sync_quarantine(_name=None, _active=None):
-            active = rm.active_quarantines()
-            if active:
+        The balancer holds one failover record per node, so with the
+        parallel scheduler several overlapping µRBs must *union* their
+        target sets: each begin/end re-asserts the union of every
+        in-flight action's targets plus the active quarantines, and the
+        window closes only when both are empty.
+        """
+        active_micro = {}
+
+        def micro_union():
+            union = set(rm.active_quarantines())
+            for targets in active_micro.values():
+                union |= targets
+            return union
+
+        def sync_micro(_name=None, _active=None):
+            union = micro_union()
+            if union:
                 balancer.begin_failover(
-                    node, mode=FailoverMode.MICRO, components=active
+                    node, mode=FailoverMode.MICRO, components=union
                 )
             else:
                 balancer.end_failover(node)
@@ -151,16 +199,17 @@ class ChaosClusterRig:
             if action.level in NODE_WIDE_LEVELS:
                 balancer.begin_failover(node, mode=FailoverMode.FULL)
             elif action.level in ("ejb", "war") and action.target:
-                balancer.begin_failover(
-                    node,
-                    mode=FailoverMode.MICRO,
-                    components=set(action.target) | rm.active_quarantines(),
-                )
+                active_micro[id(action)] = set(action.target)
+                sync_micro()
 
         def end(action):
-            # Closing the action's failover window must not strand an
-            # active quarantine's redirect: re-assert it.
-            sync_quarantine()
+            # Closing this action's failover window must not strand a
+            # concurrent action's redirect or an active quarantine's:
+            # re-assert the remaining union.
+            active_micro.pop(id(action), None)
+            sync_micro()
+
+        sync_quarantine = sync_micro
 
         def deferred(reason, level, targets, ttl):
             # A deferred coarse recovery = the RM knows this node is sick
@@ -240,6 +289,9 @@ class ChaosClusterRig:
                 balancer.metrics.counter("lb.link.dropped").value
             ),
             "humans_notified": sum(1 for rm in self.rms if rm.human_notified),
+            "max_concurrent_recoveries": max(
+                (_max_overlap(rm.actions) for rm in self.rms), default=0
+            ),
             "chaos_events": dict(sorted(self.engine.counts.items())),
             "chaos_timeline": self.engine.timeline(),
             **self._observability_outcome(),
@@ -259,12 +311,18 @@ class ChaosClusterRig:
 
 
 def run_one_arm(arm, seed, n_nodes, clients_per_node, spec_name, tail):
-    spec = ChaosSpec.smoke() if spec_name == "smoke" else ChaosSpec.standard()
+    specs = {
+        "smoke": ChaosSpec.smoke,
+        "standard": ChaosSpec.standard,
+        "multiburst": ChaosSpec.multiburst,
+    }
+    spec = specs[spec_name]()
     rig = ChaosClusterRig(
         seed=seed,
         n_nodes=n_nodes,
         clients_per_node=clients_per_node,
-        hardened=(arm == "hardened"),
+        hardened=(arm != "seed"),
+        parallel=(arm == "parallel-recovery"),
         spec=spec,
     )
     outcome = rig.run(tail=tail)
@@ -303,11 +361,12 @@ def run(seed=0, n_nodes=3, clients_per_node=30, full=False, quick=False,
     result = ExperimentResult(
         name="Availability under correlated chaos: seed pipeline vs "
              "hardened pipeline (backoff + quarantine + storm limiting + "
-             "load shedding)",
+             "load shedding) vs hardened + parallel recovery",
         paper_reference="§5.1 fault model, extended to correlated faults",
         headers=(
             "pipeline", "good reqs", "failed reqs", "availability",
-            "recoveries", "deferred", "quarantines", "storm denied", "shed",
+            "recoveries", "max conc", "deferred", "quarantines",
+            "storm denied", "shed",
         ),
     )
     for arm in ARMS:
@@ -319,6 +378,7 @@ def run(seed=0, n_nodes=3, clients_per_node=30, full=False, quick=False,
                 o["failed_requests"],
                 o["availability"],
                 o["recovery_actions"],
+                o["max_concurrent_recoveries"],
                 o["deferred"],
                 o["quarantines"],
                 o["storm_denied"],
@@ -365,6 +425,20 @@ def run(seed=0, n_nodes=3, clients_per_node=30, full=False, quick=False,
             "fewer failed requests and "
             f"{seed_arm['recovery_actions'] - hardened['recovery_actions']} "
             "fewer recovery actions"
+        )
+    par = outcomes["parallel-recovery"]
+    par_means = (par.get("incidents") or {}).get("mean_phases", {})
+    hard_means = (hardened.get("incidents") or {}).get("mean_phases", {})
+    if (
+        par_means.get("recovery") is not None
+        and hard_means.get("recovery") is not None
+    ):
+        result.notes.append(
+            "parallel-recovery arm: peak within-node recovery concurrency "
+            f"{par['max_concurrent_recoveries']} "
+            f"(hardened {hardened['max_concurrent_recoveries']}), mean "
+            f"recovery phase {par_means['recovery']}s vs hardened "
+            f"{hard_means['recovery']}s"
         )
     return result, outcomes
 

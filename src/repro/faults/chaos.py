@@ -59,6 +59,14 @@ class ChaosSpec:
     slowdown_duration: float = 60.0
     ssm_outages: int = 1  # SSM brick crashes (needs an SSM cluster)
     ssm_outage_duration: float = 40.0
+    #: Concentrate each burst on a single node with *distinct* components —
+    #: the multi-component-failure shape whose recovery the dependency-aware
+    #: parallel scheduler overlaps.  Off by default so existing campaign
+    #: schedules (and their seeds) are untouched.
+    burst_same_node: bool = False
+    #: Pin every burst fault to one kind instead of drawing from
+    #: ``COMPONENT_FAULTS`` (None = draw, the historical behaviour).
+    burst_fault: str = None
 
     @classmethod
     def smoke(cls):
@@ -81,6 +89,30 @@ class ChaosSpec:
     def standard(cls):
         """The default full campaign."""
         return cls()
+
+    @classmethod
+    def multiburst(cls):
+        """Pure multi-component bursts on one node, no infrastructure noise.
+
+        The shape that isolates the recovery *scheduler*: several distinct
+        components on the same node fail at one instant, so serial recovery
+        pays the full ladder one component at a time while the parallel
+        scheduler overlaps the independent microreboots.  The fault kind is
+        pinned to ``transient-exception`` — it fails fast (dense detection
+        signal) and is cured exactly by a µRB of the faulted bean, so the
+        arms differ only in how recovery is *scheduled*.
+        """
+        return cls(
+            duration=180.0,
+            flap_trains=0,
+            bursts=2,
+            burst_size=3,
+            burst_same_node=True,
+            burst_fault="transient-exception",
+            link_faults=0,
+            slowdowns=0,
+            ssm_outages=0,
+        )
 
 
 @dataclass
@@ -149,16 +181,38 @@ class ChaosEngine:
 
         for _burst in range(spec.bursts):
             start = when()
-            for _i in range(spec.burst_size):
+            if spec.burst_same_node:
+                # One node, distinct components: the multi-component shape
+                # the parallel scheduler recovers concurrently.
                 node = rng.randrange(n_nodes)
-                component = rng.choice(COMPONENT_TARGETS)
-                kind = rng.choice(COMPONENT_FAULTS)
-                events.append(
-                    ChaosEvent(
-                        time=start, kind=kind, node=node, target=component,
-                        params={"burst": True},
-                    )
+                components = rng.sample(
+                    COMPONENT_TARGETS,
+                    min(spec.burst_size, len(COMPONENT_TARGETS)),
                 )
+                for component in components:
+                    events.append(
+                        ChaosEvent(
+                            time=start,
+                            kind=(
+                                spec.burst_fault
+                                or rng.choice(COMPONENT_FAULTS)
+                            ),
+                            node=node,
+                            target=component,
+                            params={"burst": True},
+                        )
+                    )
+            else:
+                for _i in range(spec.burst_size):
+                    node = rng.randrange(n_nodes)
+                    component = rng.choice(COMPONENT_TARGETS)
+                    kind = spec.burst_fault or rng.choice(COMPONENT_FAULTS)
+                    events.append(
+                        ChaosEvent(
+                            time=start, kind=kind, node=node,
+                            target=component, params={"burst": True},
+                        )
+                    )
 
         for _fault in range(spec.link_faults):
             node = rng.randrange(n_nodes)

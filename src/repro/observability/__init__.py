@@ -22,6 +22,7 @@ from repro.observability.incidents import (
     IncidentTracker,
     TRACKED_KINDS,
     aggregate_incidents,
+    max_concurrent_actions,
     path_for_url,
 )
 from repro.observability.report import summarize_incidents, summarize_slo
@@ -46,6 +47,7 @@ __all__ = [
     "aggregate_slo",
     "compute_windows",
     "incidents_from_timeline",
+    "max_concurrent_actions",
     "path_for_url",
     "registry_from_observability",
     "render_prometheus",

@@ -539,6 +539,29 @@ class IncidentTracker:
             incident.touch(t)
 
 
+def max_concurrent_actions(incidents):
+    """Peak number of simultaneously in-flight recovery actions.
+
+    Sweep-line over every attributed action's ``[decided_at,
+    finished_at)`` interval across all ``incidents``.  With the serial
+    recovery scheduler this is at most 1 per node; the dependency-aware
+    parallel scheduler pushes it higher whenever independent components
+    recover concurrently.  An action closing at instant *t* releases
+    before one opening at *t* counts, so abutting actions don't overlap.
+    """
+    events = []
+    for incident in incidents:
+        for action in incident.actions:
+            events.append((action["decided_at"], 1))
+            events.append((action["finished_at"], -1))
+    events.sort(key=lambda e: (e[0], e[1]))
+    peak = active = 0
+    for _t, delta in events:
+        active += delta
+        peak = max(peak, active)
+    return peak
+
+
 def aggregate_incidents(incidents):
     """Plain-data rollup for campaign outcomes and rendered notes."""
     count = len(incidents)

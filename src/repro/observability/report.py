@@ -7,7 +7,10 @@ renderers are deterministic — same incidents/windows in, same bytes out —
 so CLI output can be asserted verbatim in tests.
 """
 
-from repro.observability.incidents import aggregate_incidents
+from repro.observability.incidents import (
+    aggregate_incidents,
+    max_concurrent_actions,
+)
 from repro.observability.slo import aggregate_slo
 
 #: Phase → single-letter glyph used in the waterfall bars.
@@ -57,6 +60,37 @@ def _waterfall(incident, width=44):
     return "|" + bar.ljust(width) + "|"
 
 
+def _recovery_interval(incident):
+    """(first decision, last action end), or None without actions."""
+    if not incident.actions:
+        return None
+    return (
+        min(a["decided_at"] for a in incident.actions),
+        max(a["finished_at"] for a in incident.actions),
+    )
+
+
+def _overlapping_ids(incidents):
+    """Ids of incidents whose recovery windows overlap another's.
+
+    Overlap is strict (half-open intervals), so back-to-back serial
+    recoveries never get flagged — only genuinely concurrent ones, the
+    signature of the parallel recovery scheduler.
+    """
+    intervals = [
+        (incident.id, interval)
+        for incident in incidents
+        if (interval := _recovery_interval(incident)) is not None
+    ]
+    flagged = set()
+    for i, (id_a, (start_a, end_a)) in enumerate(intervals):
+        for id_b, (start_b, end_b) in intervals[i + 1:]:
+            if start_a < end_b and start_b < end_a:
+                flagged.add(id_a)
+                flagged.add(id_b)
+    return flagged
+
+
 def summarize_incidents(incidents, waterfall_width=44):
     """Per-incident table + phase waterfall + aggregate line; one string."""
     lines = [f"{len(incidents)} incident(s)"]
@@ -99,12 +133,20 @@ def summarize_incidents(incidents, waterfall_width=44):
     lines.append(
         "phase waterfall (d=detection D=diagnosis R=recovery r=residual):"
     )
+    overlapping = _overlapping_ids(incidents)
     for incident in incidents:
         ladder = "->".join(a["level"] for a in incident.actions) or "-"
+        mark = " ||" if incident.id in overlapping else ""
         lines.append(
             f"  #{incident.id:<3} t={incident.opened_at:8.1f}s "
             f"{_waterfall(incident, waterfall_width)} "
-            f"{incident.span:7.1f}s  {ladder}"
+            f"{incident.span:7.1f}s  {ladder}{mark}"
+        )
+    peak = max_concurrent_actions(incidents)
+    if peak > 1:
+        lines.append(
+            f"  || = recovery overlaps another incident's "
+            f"(peak {peak} concurrent recovery actions)"
         )
 
     summary = aggregate_incidents(incidents)

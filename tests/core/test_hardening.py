@@ -48,6 +48,9 @@ class TestHardeningPolicy:
     def test_constructors(self):
         assert not HardeningPolicy.disabled().enabled
         assert HardeningPolicy.hardened().enabled
+        assert HardeningPolicy.parallel().enabled
+        assert HardeningPolicy.parallel().parallel_recovery
+        assert not HardeningPolicy.hardened().parallel_recovery
 
     @pytest.mark.parametrize(
         "knobs",
@@ -204,3 +207,124 @@ def test_storm_limiter_defers_rm_actions():
     drive_waves(system, rm, waves=1)
     assert rm.actions == []
     assert limiter.denied >= 1
+
+
+def test_errored_action_releases_storm_slot_and_advances_backoff():
+    """An action that raises must not leak its storm-limiter slot.
+
+    A ghost URL-map entry names a component the coordinator has never
+    deployed, so group expansion raises mid-action.  The slot must be
+    released (``active`` back to 0), the errored action recorded, and the
+    ghost target's backoff advanced exactly like a completed recovery —
+    otherwise a storm of failing actions wedges the limiter while the
+    RM replays the same doomed decision forever.
+    """
+    system = build_toy_system()
+    limiter = RecoveryStormLimiter(system.kernel, limit=1)
+    rm = RecoveryManager(
+        system.kernel,
+        system.coordinator,
+        {**URL_PATH_MAP, "/toy/ghost": ("ToyWAR", "Ghost")},
+        hardening=flap_policy(),
+        storm_limiter=limiter,
+        score_threshold=3,
+        escalation_window=45.0,
+    )
+    rm.start()
+    for _ in range(3):
+        report(rm, system, "/toy/ghost")
+    system.kernel.run(until=1.0)
+
+    assert len(rm.actions) == 1
+    ghost = rm.actions[0]
+    assert not ghost.ok
+    assert "Ghost" in ghost.error
+    assert ghost.finished_at is not None
+    # Satellite contract: slot released, per-target backoff advanced.
+    assert limiter.active == 0
+    assert rm._backoff_until.get("Ghost", 0.0) > system.kernel.now
+    assert rm.metrics.counter("rm.actions.errors").value == 1
+
+    # The freed slot keeps the RM functional: once the escalation window
+    # lapses, a fresh incident dispatches a real µRB through the limiter.
+    system.kernel.run(until=60.0)
+    for _ in range(3):
+        report(rm, system, "/toy/greet")
+    system.kernel.run(until=70.0)
+    assert any(a.ok and a.target == ("Greeter",) for a in rm.actions)
+    assert limiter.active == 0
+
+
+def test_quarantine_boundary_is_half_open():
+    """``t == until`` is post-quarantine: half-open ``[begin, until)``.
+
+    A report stamped at exactly the lift instant was observed after the
+    sentinel unbound, so it is fresh evidence and must be scored — only
+    strictly-earlier reports are explained by the quarantine.
+    """
+    system = build_toy_system()
+    rm = make_rm(system, flap_policy())
+    rm.quarantined["Greeter"] = 100.0
+
+    def at(time):
+        return FailureReport(
+            time=time, url="/toy/greet", operation="greet",
+            kind=FailureKind.HTTP_ERROR,
+        )
+
+    assert rm._explained_by_quarantine(at(99.9))
+    assert not rm._explained_by_quarantine(at(100.0))
+    assert not rm._explained_by_quarantine(at(100.1))
+    # A different path never intersects the quarantine at any stamp.
+    balance = FailureReport(
+        time=99.9, url="/toy/balance", operation="balance",
+        kind=FailureKind.HTTP_ERROR,
+    )
+    assert not rm._explained_by_quarantine(balance)
+
+
+def test_deferred_demand_rediagnoses_from_current_evidence():
+    """A deferred recovery re-enters against *current* diagnosis.
+
+    The greet wave's demand is backoff-deferred (Greeter was just
+    recovered); by the time the RM acts again the hot evidence points at
+    the Account group.  The retry must target what the scores say *now*,
+    not the candidate captured when the deferral was issued.
+    """
+    system = build_toy_system()
+    rm = make_rm(system, flap_policy())
+    deferred = []
+    rm.defer_listeners.append(
+        lambda reason, level, targets, ttl: deferred.append(
+            (reason, targets)
+        )
+    )
+
+    for _ in range(3):
+        report(rm, system, "/toy/greet")
+    system.kernel.run(until=10.0)
+    assert [a.target for a in rm.actions] == [("Greeter",)]
+
+    # Greeter fails again while inside its backoff: deferred, not acted.
+    for _ in range(3):
+        report(rm, system, "/toy/greet")
+    system.kernel.run(until=20.0)
+    assert len(rm.actions) == 1
+    assert any(
+        reason == "backoff" and "Greeter" in targets
+        for reason, targets in deferred
+    )
+
+    # The Account group heats up before the deferral clears — still
+    # inside the same incident (escalation window), after the greet
+    # evidence has aged out of the score window.  The next action is the
+    # Account-group µRB, not a replay of the stale Greeter candidate (or
+    # a coarse escalation on Greeter's behalf).
+    system.kernel.run(until=36.0)
+    for _ in range(3):
+        report(rm, system, "/toy/balance")
+    system.kernel.run(until=40.0)
+    assert len(rm.actions) == 2
+    assert rm.actions[1].level == "ejb"
+    assert rm.actions[1].target == ("Account", "Ledger")
+    assert rm.actions[1].ok

@@ -1,0 +1,118 @@
+"""RecoveryGraph: static edges, live refinement, deterministic grouping."""
+
+import pytest
+
+from repro.core import RecoveryGraph
+from repro.diagnosis import PathAnalyzer
+from repro.ebid.descriptors import ebid_descriptors
+from tests.toyapp import toy_descriptors
+
+
+@pytest.fixture
+def toy_graph():
+    return RecoveryGraph(toy_descriptors())
+
+
+@pytest.fixture
+def ebid_graph():
+    return RecoveryGraph(ebid_descriptors())
+
+
+class TestStaticEdges:
+    def test_reference_edges_relate_caller_and_callee(self, toy_graph):
+        # Transfer references Account and Ledger.
+        assert toy_graph.related("Transfer", "Account")
+        assert toy_graph.related("Transfer", "Ledger")
+
+    def test_group_references_couple_both_directions(self, toy_graph):
+        # Account group-references Ledger; either recycling invalidates
+        # the shared metadata, so both orders conflict.
+        assert toy_graph.related("Account", "Ledger")
+        assert toy_graph.related("Ledger", "Account")
+
+    def test_unrelated_components_are_independent(self, toy_graph):
+        assert not toy_graph.related("Greeter", "Account")
+        assert not toy_graph.related("Greeter", "Transfer")
+        assert not toy_graph.related("Audit", "Account")
+
+    def test_descendants_follow_transitive_closure(self, toy_graph):
+        assert toy_graph.descendants("Transfer") == {"Account", "Ledger"}
+        assert toy_graph.descendants("Greeter") == set()
+
+
+class TestConflicts:
+    def test_intersecting_sets_conflict(self, toy_graph):
+        assert toy_graph.conflicts({"Greeter"}, {"Greeter", "Audit"})
+
+    def test_cross_pair_dependency_conflicts(self, toy_graph):
+        assert toy_graph.conflicts({"Transfer"}, {"Account", "Ledger"})
+
+    def test_independent_sets_do_not_conflict(self, toy_graph):
+        assert not toy_graph.conflicts({"Greeter"}, {"Account", "Ledger"})
+        assert not toy_graph.conflicts({"Audit"}, {"Greeter"})
+
+    def test_empty_sets_never_conflict(self, toy_graph):
+        assert not toy_graph.conflicts(set(), {"Greeter"})
+        assert not toy_graph.conflicts({"Greeter"}, set())
+
+    def test_chaos_component_targets_are_pairwise_independent(
+        self, ebid_graph
+    ):
+        # The chaos campaign's burst targets were chosen to be recoverable
+        # concurrently; the graph must agree, else the parallel-recovery
+        # arm never overlaps anything.
+        from repro.faults.chaos import COMPONENT_TARGETS
+
+        for i, a in enumerate(COMPONENT_TARGETS):
+            for b in COMPONENT_TARGETS[i + 1:]:
+                assert not ebid_graph.conflicts({a}, {b}), (a, b)
+
+    def test_session_bean_conflicts_with_entity_group(self, ebid_graph):
+        # BrowseCategories references the Category entity, which sits in
+        # the big entity recovery group — so it conflicts with any target
+        # set touching that group.
+        assert ebid_graph.conflicts({"BrowseCategories"}, {"Category"})
+        assert ebid_graph.conflicts({"BrowseCategories"}, {"Item", "Bid"})
+
+
+class TestGrouping:
+    def test_partition_toy(self, toy_graph):
+        assert toy_graph.partition(
+            ["Greeter", "Account", "Transfer", "Audit"]
+        ) == [("Account", "Transfer"), ("Audit",), ("Greeter",)]
+
+    def test_group_key_is_deterministic(self):
+        assert RecoveryGraph.group_key({"Ledger", "Account"}) == "Account"
+        assert RecoveryGraph.group_key(("Greeter",)) == "Greeter"
+
+    def test_partition_is_deterministic(self, ebid_graph):
+        names = list(ebid_graph.nodes)
+        assert ebid_graph.partition(names) == ebid_graph.partition(
+            reversed(names)
+        )
+
+
+class TestLiveEdges:
+    def test_observed_call_edges_refine_the_graph(self):
+        analyzer = PathAnalyzer(min_paths=1, min_failed=0)
+        graph = RecoveryGraph(toy_descriptors(), analyzer=analyzer)
+        # Statically independent...
+        assert not graph.related("Greeter", "Audit")
+        # ...until the span layer observes Greeter actually calling Audit.
+        analyzer.record_path(
+            1.0, ("ToyWAR", "Greeter", "Audit"), True,
+            edges=(("Greeter", "Audit"),),
+        )
+        assert graph.related("Greeter", "Audit")
+        assert graph.conflicts({"Greeter"}, {"Audit"})
+
+    def test_live_edges_track_the_analyzer_window(self):
+        analyzer = PathAnalyzer(min_paths=1, min_failed=0)
+        graph = RecoveryGraph(toy_descriptors(), analyzer=analyzer)
+        analyzer.record_path(
+            1.0, ("ToyWAR", "Greeter", "Audit"), True,
+            edges=(("Greeter", "Audit"),),
+        )
+        assert graph.related("Greeter", "Audit")
+        analyzer.clear()
+        assert not graph.related("Greeter", "Audit")

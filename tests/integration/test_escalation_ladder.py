@@ -11,6 +11,7 @@ session state, because sessions live in the external store.
 from repro.appserver.http import HttpRequest, HttpStatus
 from repro.cluster import build_cluster
 from repro.core import FailureKind, FailureReport, RecoveryManager
+from repro.core.hardening import HardeningPolicy
 from repro.ebid.descriptors import URL_PATH_MAP
 from repro.ebid.schema import DatasetConfig
 
@@ -111,3 +112,98 @@ def test_escalation_ladder_preserves_session_state():
     assert any(len(target) > 1 for target in group_targets), (
         f"no group µRB among EJB actions: {group_targets}"
     )
+
+
+def test_interleaved_ladders_stay_independent():
+    """Two independent components escalate on fully disjoint ladders.
+
+    BrowseCategories and ViewUserInfo fail concurrently under the
+    parallel scheduler: their first µRBs overlap, and from then on every
+    piece of per-target hardening state — escalation ladder, backoff
+    key, flap-strike history, eventual quarantine — stays keyed to its
+    own component.  BrowseCategories keeps flapping and is quarantined;
+    ViewUserInfo (one clean recovery) must not inherit a single strike.
+    Sessions on uninvolved bricks survive the whole episode.
+    """
+    cluster = build_cluster(
+        1, dataset=DatasetConfig.tiny(), session_store="ssm",
+    )
+    kernel = cluster.kernel
+    node = cluster.nodes[0]
+    rm = RecoveryManager(
+        kernel,
+        node.system.coordinator,
+        URL_PATH_MAP,
+        node_controller=node,
+        scheduler="parallel",
+        hardening=HardeningPolicy(
+            enabled=True, parallel_recovery=True,
+            backoff_base=60.0, backoff_factor=2.0, backoff_max=300.0,
+            flap_threshold=3, flap_window=500.0, flap_debounce=0.0,
+            quarantine_ttl=300.0,
+        ),
+        # Short enough that each 20s wave opens a fresh incident (the
+        # per-group ladders reset); the backoff keys live much longer.
+        escalation_window=15.0,
+        recurring_limit=100,
+    )
+    rm.start()
+
+    cookie = establish_session(cluster)
+
+    def wave(urls):
+        for url in urls:
+            for _ in range(3):
+                rm.report(
+                    FailureReport(
+                        time=kernel.now,
+                        url=url,
+                        operation=url.rsplit("/", 1)[-1],
+                        kind=FailureKind.HTTP_ERROR,
+                    )
+                )
+
+    # Wave 1: both components fail at the same instant.  Their µRBs are
+    # dispatched concurrently on separate per-group ladders.
+    wave(["/ebid/BrowseCategories", "/ebid/ViewUserInfo"])
+    kernel.run(until=kernel.now + 2.0)
+    assert sorted(a.target for a in rm.actions) == [
+        ("BrowseCategories",), ("ViewUserInfo",),
+    ]
+    assert all(a.level == "ejb" and a.ok for a in rm.actions)
+    first, second = rm.actions
+    assert first.decided_at < second.finished_at
+    assert second.decided_at < first.finished_at
+    # Each component escalates on its own ladder (the hot entity group
+    # also got one while being considered — and skipped — as a
+    # conflicting candidate).
+    assert {"BrowseCategories", "ViewUserInfo"} <= set(rm._ladders)
+    assert rm._ladders["BrowseCategories"] is not rm._ladders["ViewUserInfo"]
+
+    # Waves 2-4: only BrowseCategories keeps failing.  Each wave lands
+    # inside its backoff (a flap strike), never re-recycles it, and the
+    # third strike quarantines it.  ViewUserInfo is never touched again.
+    for _ in range(3):
+        kernel.run(until=kernel.now + 18.0)
+        wave(["/ebid/BrowseCategories"])
+        kernel.run(until=kernel.now + 2.0)
+
+    assert len(rm.actions) == 2  # no re-recovery, no coarse escalation
+    # Disjoint flap histories and backoff keys: three strikes against
+    # the flapper, exactly the one clean recovery against the other.
+    assert len(rm._recovery_history["BrowseCategories"]) == 3
+    assert len(rm._recovery_history["ViewUserInfo"]) == 1
+    assert (
+        rm._backoff_until["BrowseCategories"]
+        > rm._backoff_until["ViewUserInfo"]
+    )
+    assert rm.active_quarantines() == {"BrowseCategories"}
+    assert node.system.server.naming.is_sentinel("BrowseCategories")
+    assert not node.system.server.naming.is_sentinel("ViewUserInfo")
+    # The quarantined flapper's reports are dropped as already explained
+    # (the rest of the quarantining wave, then all of the final wave).
+    assert rm.metrics.counter("rm.reports.quarantined").value == 5
+
+    # The crash-only contract held throughout: the session established
+    # before the first failure still works on the untouched paths.
+    assert_session_alive(cluster, cookie, "interleaved ladders")
