@@ -12,6 +12,8 @@ Usage::
     python -m repro paths figure1.jsonl
     python -m repro incidents figure1.jsonl --json incidents.jsonl
     python -m repro slo figure1.jsonl --window 30 --availability 0.999
+    python -m repro health prediction.jsonl
+    python -m repro alerts prediction.jsonl
 
 Each experiment prints its rendered table (and ASCII figures, where the
 paper has a figure) to stdout; ``--out-dir`` additionally writes one text
@@ -22,7 +24,11 @@ timeline, failover windows, slowest requests); the ``paths`` subcommand
 renders the causal view (observed call trees, dependency graph, anomaly
 ranking, recovery-decision audit); ``incidents`` stitches the timeline
 into per-incident MTTR decompositions and ``slo`` judges rolling
-availability/latency windows against a policy.
+availability/latency windows against a policy.  ``health`` and
+``alerts`` replay the timeline through the predictive stack — online
+MTTF/hazard estimators, blended component health scores, and the
+declarative alert rules — rendering scores (sickest first) and
+fired/resolved alerts with lead times versus the stitched incidents.
 """
 
 import argparse
@@ -36,9 +42,13 @@ from repro.diagnosis.report import summarize_paths
 from repro.ebid.descriptors import URL_PATH_MAP
 from repro.observability import (
     SloPolicy,
+    health_from_timeline,
     incidents_from_timeline,
+    registry_from_health,
     registry_from_observability,
     render_prometheus,
+    summarize_alerts,
+    summarize_health,
     summarize_incidents,
     summarize_slo,
     windows_from_records,
@@ -60,6 +70,7 @@ from repro.experiments import (
     figure4,
     figure5,
     figure6,
+    health_prediction,
     path_diagnosis,
     table1,
     table2,
@@ -85,6 +96,8 @@ EXPERIMENTS = {
     "availability": (availability, "Six-nines recovery allowances"),
     "pathdiag": (path_diagnosis, "Static-map vs path-analysis diagnosis"),
     "chaos": (chaos, "Correlated-fault chaos: seed vs hardened pipeline"),
+    "prediction": (health_prediction,
+                   "Leak-heavy chaos: reactive vs proactive rejuvenation"),
 }
 
 
@@ -159,6 +172,24 @@ def build_parser():
                      help="per-window p99 ceiling in seconds")
     slo.add_argument("--prom", type=Path, default=None,
                      help="also write Prometheus text exposition here")
+
+    health = sub.add_parser(
+        "health",
+        help="replay a JSONL timeline through the predictive stack "
+             "(MTTF/hazard estimators + health registry) and render "
+             "per-component health scores, sickest first",
+    )
+    health.add_argument("file", type=Path)
+    health.add_argument("--prom", type=Path, default=None,
+                        help="also write Prometheus text exposition here")
+
+    alerts = sub.add_parser(
+        "alerts",
+        help="replay a JSONL timeline through the alert rules and render "
+             "fired/resolved alerts plus lead times versus the stitched "
+             "incidents",
+    )
+    alerts.add_argument("file", type=Path)
     return parser
 
 
@@ -239,6 +270,32 @@ def main(argv=None):
                 render_prometheus(registry), encoding="utf-8"
             )
             print(f"[Prometheus exposition written to {args.prom}]")
+        return 0
+
+    if args.command == "health":
+        records = _load_timeline(args.file)
+        if records is None:
+            return 2
+        rows, _alerts, _incidents = health_from_timeline(
+            records, url_path_map=URL_PATH_MAP
+        )
+        print(summarize_health(rows))
+        if args.prom is not None:
+            registry = registry_from_health(rows)
+            args.prom.write_text(
+                render_prometheus(registry), encoding="utf-8"
+            )
+            print(f"[Prometheus exposition written to {args.prom}]")
+        return 0
+
+    if args.command == "alerts":
+        records = _load_timeline(args.file)
+        if records is None:
+            return 2
+        _rows, alerts, incidents = health_from_timeline(
+            records, url_path_map=URL_PATH_MAP
+        )
+        print(summarize_alerts(alerts, incidents=incidents))
         return 0
 
     if args.command == "slo":

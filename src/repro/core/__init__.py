@@ -14,6 +14,9 @@
   JVM → OS → human).
 * :class:`~repro.core.rejuvenation.RejuvenationService` — microrejuvenation
   (§6.4): rolling µRBs keyed off available heap memory.
+* :class:`~repro.core.proactive.ProactiveRejuvenationPolicy` — the
+  predictive loop: health alerts from the observability layer drive
+  preemptive µRBs through :meth:`RecoveryManager.preempt`.
 * :class:`~repro.core.retry.RetryPolicy` — the §6.2 transparent call-retry
   configuration (HTTP 503 Retry-After plus the optional pre-µRB drain
   delay).
@@ -22,6 +25,7 @@
 from repro.core.hardening import HardeningPolicy, RecoveryStormLimiter
 from repro.core.microcheckpoint import MicrocheckpointStore
 from repro.core.microreboot import MicrorebootCoordinator, RebootEvent
+from repro.core.proactive import ProactiveRejuvenationPolicy
 from repro.core.recovery_graph import RecoveryGraph
 from repro.core.recovery_groups import compute_recovery_groups
 from repro.core.recovery_manager import (
@@ -39,6 +43,7 @@ __all__ = [
     "HardeningPolicy",
     "MicrocheckpointStore",
     "MicrorebootCoordinator",
+    "ProactiveRejuvenationPolicy",
     "RebootEvent",
     "RecoveryAction",
     "RecoveryGraph",

@@ -1,0 +1,178 @@
+"""Proactive rejuvenation: health alerts → preemptive µRBs.
+
+The reactive pipeline — §6.4 rejuvenation included — waits for a
+threshold to be crossed: memory below ``Malarm``, scores above the RM's
+threshold.  This policy closes the predictive loop the ROADMAP asked
+for: the observability layer's alert engine
+(:mod:`repro.observability.alerts`) predicts trouble (a heap trend that
+will cross the rejuvenation alarm, a component whose blended health
+score collapsed), and the policy answers by scheduling a *preemptive*
+microreboot through :meth:`RecoveryManager.preempt` — which keeps every
+reactive safeguard in force (per-target backoff, flap quarantine, the
+shared storm limiter, recovery-group expansion) while leaving reactive
+incident state untouched.
+
+One policy instance runs per node.  It owns the node's **heap monitor**:
+a kernel process that samples ``server.heap`` every ``check_interval``
+and publishes ``heap.sample`` bus events — the feed the health
+registry's trend tracker (and therefore the ``heap-exhaustion-predicted``
+alert) runs on.  The policy is the *active* half of the predictive
+stack: the estimators/health/alerts layers stay passive subscribers, and
+everything that schedules kernel work lives here, where acting is the
+point.
+
+``shadow=True`` keeps the monitor (so alerts still fire and lead time is
+measurable) but never acts — the A/B control arm: a shadow run's
+workload outcome must be identical to the same rig without prediction,
+which is exactly what the health-prediction benchmark gates.
+
+Against a *continuing* leak (the injector's per-invocation hooks
+survive µRBs by design) a preemptive µRB is periodic maintenance, not a
+cure: each one empties the leaker's heap attribution cheaply — sessions
+preserved, one component offline for ~fractions of a second — instead
+of letting the node hit OOM and pay a whole-JVM restart plus the failed
+requests of full exhaustion.  The per-target ``cooldown`` sets that
+maintenance period's floor so one noisy alert stream cannot µRB-loop a
+component (the RM's backoff enforces the same when hardening is on).
+"""
+
+from repro.appserver.memory import OWNER_EXTERNAL, OWNER_SERVER
+
+#: Alert rules the policy acts on by default.  Only the heap-trend rule:
+#: it names a node, and the heap's owner attribution names the leaker —
+#: a precise target.  ``component-health-low`` is deliberately *not* a
+#: default trigger: incident hazard implicates every component on a
+#: failed URL's path, so acting on it µRBs innocent bystanders (and
+#: their whole recovery groups).  The global error-budget rule names no
+#: target at all.  Opt into broader triggers via ``trigger_rules=``.
+DEFAULT_TRIGGER_RULES = ("heap-exhaustion-predicted",)
+
+
+class ProactiveRejuvenationPolicy:
+    """Per-node policy: monitor the heap, act on health alerts."""
+
+    def __init__(
+        self,
+        kernel,
+        rm,
+        engine=None,
+        check_interval=5.0,
+        cooldown=30.0,
+        shadow=False,
+        trigger_rules=DEFAULT_TRIGGER_RULES,
+    ):
+        if check_interval <= 0:
+            raise ValueError(
+                f"check_interval must be > 0, got {check_interval!r}"
+            )
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown!r}")
+        self.kernel = kernel
+        self.rm = rm
+        self.check_interval = check_interval
+        self.cooldown = cooldown
+        self.shadow = shadow
+        self.trigger_rules = tuple(trigger_rules)
+        self.engine = engine
+        self.alerts_seen = 0
+        self.preempts_dispatched = 0
+        self.preempts_declined = 0
+        self._last_preempt = {}  # component -> time of last dispatch
+        self._process = None
+        if engine is not None:
+            engine.on_fire.append(self.on_alert)
+
+    @property
+    def server(self):
+        return self.rm.server
+
+    # ------------------------------------------------------------------
+    # The heap monitor (feeds the health registry's trend tracker)
+    # ------------------------------------------------------------------
+    def start(self):
+        """Spawn the heap-sampling monitor process (idempotent)."""
+        if self._process is None or not self._process.is_alive:
+            self._process = self.kernel.process(
+                self._monitor(), name=f"proactive-monitor-{self.server.name}"
+            )
+        return self._process
+
+    def _monitor(self):
+        while True:
+            yield self.kernel.timeout(self.check_interval)
+            heap = self.server.heap
+            self.kernel.trace.publish(
+                "heap.sample",
+                server=self.server.name,
+                available=heap.available,
+                capacity=heap.capacity,
+            )
+            # Level-triggered retry: an alert firing is an edge, but the
+            # RM may have been busy (or the target briefly in backoff) at
+            # that instant — and a declined preempt would otherwise stay
+            # declined until the alert resolves and re-fires, which for a
+            # heap alert means *after* the exhaustion it predicted.  As
+            # long as a trigger alert is still active, keep trying.
+            if not self.shadow and self.engine is not None:
+                for alert in self.engine.active_alerts():
+                    self._consider(alert)
+
+    # ------------------------------------------------------------------
+    # Acting on alerts
+    # ------------------------------------------------------------------
+    def _target_for(self, alert):
+        """The component a fired alert implicates on *this* node.
+
+        Component-scoped alerts name their target directly; server-scoped
+        heap alerts get the biggest leaker the platform attributes to an
+        actual component (the same §6.4 heuristic the rejuvenation
+        service and the RM's resource-exhaustion diagnosis use).
+        """
+        if alert.component is not None:
+            if alert.component in self.server.containers:
+                return alert.component
+            return None
+        for owner in self.server.heap.owners_by_leak():
+            if owner in (OWNER_SERVER, OWNER_EXTERNAL):
+                continue
+            if owner in self.server.containers:
+                return owner
+        return None
+
+    def on_alert(self, alert):
+        """AlertEngine ``on_fire`` listener: maybe preempt."""
+        self.alerts_seen += 1
+        if self.shadow:
+            return None
+        return self._consider(alert)
+
+    def _consider(self, alert):
+        """Preempt for ``alert`` if it implicates this node and the
+        target is out of cooldown; silently decline otherwise."""
+        if alert.rule not in self.trigger_rules:
+            return None
+        if alert.server is not None and alert.server != self.server.name:
+            return None
+        component = self._target_for(alert)
+        if component is None:
+            self.preempts_declined += 1
+            return None
+        now = self.kernel.now
+        last = self._last_preempt.get(component)
+        if last is not None and now - last < self.cooldown:
+            self.preempts_declined += 1
+            return None
+        action = self.rm.preempt(component)
+        if action is None:
+            self.preempts_declined += 1
+            return None
+        self._last_preempt[component] = now
+        self.preempts_dispatched += 1
+        return action
+
+    def stats(self):
+        return {
+            "alerts_seen": self.alerts_seen,
+            "preempts_dispatched": self.preempts_dispatched,
+            "preempts_declined": self.preempts_declined,
+        }

@@ -62,6 +62,7 @@ class FailureKind(enum.Enum):
     COMPARISON_MISMATCH = "comparison"  # differs from known-good instance
     RESOURCE_EXHAUSTION = "resource-exhaustion"  # OOM signatures
     TIMEOUT = "timeout"  # no response within the client's patience
+    PREDICTED = "predicted"  # no failure yet: a health alert predicted one
 
 
 @dataclass
@@ -561,9 +562,17 @@ class RecoveryManager:
             if report.kind is FailureKind.RESOURCE_EXHAUSTION:
                 candidate = self._biggest_leaker()
                 if candidate is not None and self._in_backoff(candidate, now):
+                    # The leaker was µRB'd recently and the heap is
+                    # exhausted *again*: deferring would leave the node
+                    # in OOM meltdown until the backoff lapses (every
+                    # request fails, and each report re-extends the
+                    # backoff via the flap strike).  Exhaustion does not
+                    # pass on its own — count the flap evidence, then
+                    # coarsen: the node-wide rungs free every
+                    # component's leak at once.
                     self._flap_strike(candidate)
-                    return self._defer("backoff", level, (candidate,))
-                if candidate in exclude:
+                    candidate = None
+                elif candidate in exclude:
                     candidate = None
             else:
                 candidate = self._candidate(exclude, record=True)
@@ -777,8 +786,12 @@ class RecoveryManager:
             if resource:
                 candidate = self._biggest_leaker()
                 if candidate is not None and self._in_backoff(candidate, now):
+                    # Same contract as the serial ladder: a re-exhausted
+                    # heap whose biggest leaker is inside its backoff is
+                    # grounds for coarsening, not deferring — waiting
+                    # out the backoff means waiting in OOM meltdown.
                     self._flap_strike(candidate)
-                    return self._defer("backoff", "ejb", (candidate,))
+                    candidate = None
                 if candidate in exclude | skip:
                     candidate = None
             else:
@@ -1013,6 +1026,149 @@ class RecoveryManager:
         self._refresh_scores()
         if self.path_analyzer is not None:
             self.path_analyzer.forget(components)
+
+    # ------------------------------------------------------------------
+    # Preemptive recovery (health alerts → µRB before failure)
+    # ------------------------------------------------------------------
+    def preempt(self, component):
+        """Schedule a preemptive µRB of ``component`` (no failure yet).
+
+        The entry point the proactive rejuvenation policy calls when a
+        health alert predicts trouble.  A preemptive action *respects*
+        the reactive safeguards — it declines while the target is
+        quarantined or in backoff, and takes a storm-limiter slot — but
+        deliberately leaves all reactive state alone: it neither
+        advances backoff/flap counters (planned maintenance is not
+        flapping; the policy cooldown guards against preempt loops) nor
+        consumes the real incident's EJB attempts or escalation ladder.
+
+        Returns the dispatched :class:`RecoveryAction`, or None when the
+        preemption was declined (busy, quarantined, deferred, unknown
+        component, or the RM already gave up to a human).
+        """
+        now = self.kernel.now
+        if self.human_notified:
+            return None
+        if component not in self.server.containers:
+            return None
+        if component in self.active_quarantines():
+            return None
+        if self._in_backoff(component, now):
+            self._defer("backoff", "ejb", (component,))
+            return None
+        if self.scheduler == "serial":
+            if self.recovering:
+                return None
+        else:
+            try:
+                targets = frozenset(
+                    self.coordinator.expand_targets([component])
+                )
+            except Exception:  # noqa: BLE001 — same contract as dispatch
+                targets = frozenset((component,))
+            if any(
+                self._conflicts(targets, entry) for entry in self._inflight
+            ):
+                return None
+        if (
+            self.storm_limiter is not None
+            and not self.storm_limiter.admit(who=self.server.name)
+        ):
+            self._defer("storm", "ejb", (component,))
+            return None
+        admitted = self.storm_limiter is not None
+        action = RecoveryAction(
+            decided_at=now,
+            level="ejb",
+            target=(component,),
+            trigger=FailureKind.PREDICTED,
+        )
+        if self.scheduler == "serial":
+            self.recovering = True
+        else:
+            self._inflight.append(
+                _Inflight(
+                    action=action,
+                    level_index=0,
+                    # A throwaway ladder: preemptions must not consume the
+                    # component's real dependency-group escalation state.
+                    ladder=_GroupLadder(f"preempt:{component}"),
+                    targets=targets,
+                    candidate=component,
+                )
+            )
+            self.recovering = True
+        self._dispatch_seq += 1
+        self.kernel.process(
+            self._execute_preemptive(action, component, admitted),
+            name=f"rm-{self.server.name}-preempt-{self._dispatch_seq}",
+        )
+        return action
+
+    def _execute_preemptive(self, action, component, admitted):
+        """Process body: one preemptive µRB, reactive state untouched.
+
+        Same try/except/finally contract as the reactive executors (an
+        errored action is recorded, its storm slot released, its backoff
+        advanced) minus the incident bookkeeping: scores, tried sets,
+        ladders, and ``_last_action_end`` all belong to *reactive*
+        incidents and stay exactly as they were.
+        """
+        level = "ejb"
+        try:
+            action.target = tuple(
+                self.coordinator.expand_targets([component])
+            )
+            self.kernel.trace.publish(
+                "rm.decision",
+                server=self.server.name,
+                level=level,
+                target=action.target,
+                trigger=action.trigger.value,
+                preemptive=True,
+            )
+            for listener in self.begin_listeners:
+                listener(action)
+            yield from self.coordinator.microreboot(list(action.target))
+        except Exception as exc:  # noqa: BLE001 — same contract as _recover
+            action.error = f"{type(exc).__name__}: {exc}"
+            self._action_errors.inc()
+        finally:
+            action.finished_at = self.kernel.now
+            self.actions.append(action)
+            self._actions_by_level.inc(level)
+            if self.scheduler == "serial":
+                self.recovering = False
+            else:
+                self._inflight = [
+                    entry for entry in self._inflight
+                    if entry.action is not action
+                ]
+                self.recovering = bool(self._inflight)
+                for name in set(action.target or (component,)):
+                    self._component_last_end[name] = action.finished_at
+            self.kernel.trace.publish(
+                "rm.action.end",
+                server=self.server.name,
+                level=level,
+                target=action.target,
+                ok=action.ok,
+                error=action.error,
+                duration=action.finished_at - action.decided_at,
+                preemptive=True,
+            )
+            if admitted:
+                self.storm_limiter.release()
+            # Deliberately NO _note_recovery: a preemptive µRB is planned
+            # maintenance, not failure-driven recovery.  Counting it
+            # toward flap detection would quarantine a slowly-leaking
+            # component for being rejuvenated on schedule, and advancing
+            # its backoff would defer the *reactive* recovery that an
+            # actual failure needs.  The policy's per-component cooldown
+            # is the preemption loop-guard (same contract as
+            # RejuvenationService, whose rolling µRBs bypass the RM).
+            for listener in self.listeners:
+                listener(action)
 
     # ------------------------------------------------------------------
     # Hardening: backoff, flap quarantine, storm deferral

@@ -9,8 +9,23 @@ The service has no a-priori knowledge of who leaks: it "builds a list of all
 components; as components are microrebooted, the service remembers how much
 memory was released by each one's µRB.  The list is kept sorted in
 descending order by released memory" — so later rejuvenations try the
-biggest historical leakers first.
+biggest historical leakers first.  "Remembers" is an EWMA, not the last
+observation: one µRB that happened to catch a component mid-cycle (heap
+nearly empty, or freshly refilled) must not reorder the whole candidate
+list on its own.
 """
+
+from collections import deque
+
+#: memory_samples ring size: the Kernel.unhandled_failures idiom — keep a
+#: bounded window plus a total count, never an unbounded list (a week-long
+#: soak at a 5 s cadence would otherwise grow ~120k entries per node).
+MEMORY_SAMPLE_RETENTION = 4096
+
+#: EWMA smoothing for released_history: one observation moves the
+#: remembered release 50% of the way — adapts within a couple of rounds
+#: without letting a single noisy µRB rewrite the ordering.
+RELEASED_ALPHA = 0.5
 
 
 class RejuvenationService:
@@ -29,6 +44,10 @@ class RejuvenationService:
                 "need 0 < m_alarm < m_sufficient <= 1, got "
                 f"{m_alarm_fraction} / {m_sufficient_fraction}"
             )
+        if check_interval <= 0:
+            raise ValueError(
+                f"check_interval must be > 0, got {check_interval!r}"
+            )
         self.kernel = kernel
         self.coordinator = coordinator
         self.m_alarm_fraction = m_alarm_fraction
@@ -38,12 +57,15 @@ class RejuvenationService:
         #: Components in the order the next rejuvenation will try them;
         #: initialized to deployment order (no leak knowledge yet).
         self.candidates = list(coordinator._deploy_order)
-        #: Bytes released by the most recent µRB of each component.
-        self.released_history = {name: 0 for name in self.candidates}
+        #: EWMA of bytes released by each component's µRBs.
+        self.released_history = {name: 0.0 for name in self.candidates}
         self.rejuvenation_rounds = 0
         self.microreboots_performed = 0
         self.jvm_restarts_performed = 0
-        self.memory_samples = []  # (time, available_bytes) timeline
+        #: (time, available_bytes) timeline — most recent samples only.
+        self.memory_samples = deque(maxlen=MEMORY_SAMPLE_RETENTION)
+        #: Total samples ever taken (survives ring eviction).
+        self.samples_recorded = 0
         self._process = None
 
     # ------------------------------------------------------------------
@@ -60,19 +82,30 @@ class RejuvenationService:
         return self.server.heap.capacity * self.m_sufficient_fraction
 
     def start(self):
+        """Spawn the rejuvenator process (idempotent).
+
+        Calling start() again while the service is running returns the
+        existing live process — it never spawns a second rejuvenator,
+        which would double the sampling cadence and race two sweeps over
+        the same candidate list.  Only after the process has died (e.g. a
+        kernel teardown in tests) does start() spawn a fresh one.
+        """
         if self._process is None or not self._process.is_alive:
             self._process = self.kernel.process(self._run(), name="rejuvenator")
         return self._process
 
     # ------------------------------------------------------------------
+    def _sample(self):
+        self.memory_samples.append((self.kernel.now, self.server.heap.available))
+        self.samples_recorded += 1
+
     def _run(self):
         while True:
             yield self.kernel.timeout(self.check_interval)
-            heap = self.server.heap
-            self.memory_samples.append((self.kernel.now, heap.available))
-            if heap.available < self.m_alarm:
+            self._sample()
+            if self.server.heap.available < self.m_alarm:
                 yield from self._rejuvenate()
-                self.memory_samples.append((self.kernel.now, heap.available))
+                self._sample()
 
     def _rejuvenate(self):
         """Generator: one rejuvenation round."""
@@ -89,7 +122,10 @@ class RejuvenationService:
             event = yield from self.coordinator.microreboot([name])
             self.microreboots_performed += 1
             for member, released in event.memory_released_by.items():
-                self.released_history[member] = released
+                previous = self.released_history.get(member, 0.0)
+                self.released_history[member] = (
+                    previous + RELEASED_ALPHA * (released - previous)
+                )
         if heap.available < self.m_sufficient:
             # Every component recycled and still short: whole-JVM restart.
             yield from self.server.restart_jvm()

@@ -21,6 +21,7 @@ presentation.  ``EXPERIMENTS.md`` records paper-versus-measured values.
 | Figure 6 (microrejuvenation)          | :mod:`repro.experiments.figure6` |
 | §5.3/§6.1 six-nines arithmetic        | :mod:`repro.experiments.availability` |
 | Chaos: seed vs hardened pipeline      | :mod:`repro.experiments.chaos` |
+| Prediction: reactive vs proactive µRB | :mod:`repro.experiments.health_prediction` |
 """
 
 from repro.experiments.common import ExperimentResult, SingleNodeRig

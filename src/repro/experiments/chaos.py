@@ -31,16 +31,22 @@ multi-component incidents.
 from repro.cluster.cluster import build_cluster
 from repro.cluster.load_balancer import FailoverMode
 from repro.core.hardening import HardeningPolicy, RecoveryStormLimiter
-from repro.core.recovery_manager import RecoveryManager
+from repro.core.proactive import ProactiveRejuvenationPolicy
+from repro.core.recovery_manager import FailureKind, RecoveryManager
 from repro.core.retry import RetryPolicy
 from repro.ebid.descriptors import URL_PATH_MAP
 from repro.experiments.common import ExperimentResult
-from repro.faults.chaos import ChaosEngine, ChaosSpec
+from repro.faults.chaos import COMPONENT_TARGETS, ChaosEngine, ChaosSpec
 from repro.observability import (
+    AlertEngine,
+    ComponentHealthRegistry,
+    EstimatorHub,
     IncidentTracker,
     SloEngine,
     aggregate_incidents,
     aggregate_slo,
+    alert_lead_times,
+    median,
 )
 from repro.parallel import TrialSpec, run_campaign
 from repro.workload.client import ClientPopulation
@@ -85,7 +91,13 @@ class ChaosClusterRig:
         parallel=False,
         spec=None,
         observability=True,
+        prediction=None,
+        preempt_cooldown=30.0,
     ):
+        if prediction not in (None, "shadow", "proactive"):
+            raise ValueError(f"unknown prediction mode {prediction!r}")
+        if prediction is not None and not observability:
+            raise ValueError("prediction requires observability")
         if parallel:
             # The parallel scheduler rides on the hardened safeguards (the
             # storm limiter is its global concurrency cap).
@@ -162,6 +174,44 @@ class ChaosClusterRig:
                 kernel=self.kernel, url_path_map=URL_PATH_MAP
             )
             self.slo_engine = SloEngine(self.metrics, kernel=self.kernel)
+
+        # Prediction stack (estimators → health scores → alert rules →
+        # proactive policy).  In "shadow" mode the stack observes and
+        # alerts but the policy never acts, so the workload outcome must
+        # be byte-identical to the plain arm — that passivity is what the
+        # prediction benchmark gates on.  Only in "proactive" mode do
+        # alerts turn into RecoveryManager.preempt() calls.
+        self.prediction = prediction
+        self.estimator_hub = None
+        self.alert_engine = None
+        self.health_registry = None
+        self.policies = []
+        if prediction is not None:
+            self.estimator_hub = EstimatorHub(
+                kernel=self.kernel,
+                tracker=self.incident_tracker,
+                url_path_map=URL_PATH_MAP,
+            )
+            self.alert_engine = AlertEngine(kernel=self.kernel)
+            self.health_registry = ComponentHealthRegistry(
+                kernel=self.kernel,
+                hub=self.estimator_hub,
+                alert_engine=self.alert_engine,
+            )
+            for node in self.cluster.nodes:
+                self.health_registry.register(
+                    node.system.server.name, COMPONENT_TARGETS
+                )
+            for rm in self.rms:
+                policy = ProactiveRejuvenationPolicy(
+                    self.kernel,
+                    rm,
+                    engine=self.alert_engine,
+                    cooldown=preempt_cooldown,
+                    shadow=(prediction == "shadow"),
+                )
+                policy.start()
+                self.policies.append(policy)
 
     def _wire_failover(self, rm, node, balancer):
         """LB coordination (§5.3): full failover for node-wide recoveries,
@@ -249,6 +299,8 @@ class ChaosClusterRig:
             self.incident_tracker.finalize(horizon)
         if self.slo_engine is not None:
             self.slo_engine.evaluate(horizon)
+        if self.alert_engine is not None:
+            self.alert_engine.finalize(horizon)
         return self.outcome()
 
     def outcome(self):
@@ -307,6 +359,26 @@ class ChaosClusterRig:
             "incident_records": [i.to_dict() for i in incidents],
             "slo": aggregate_slo(windows),
             "slo_violations_live": len(self.slo_engine.live_violations),
+            **self._prediction_outcome(incidents),
+        }
+
+    def _prediction_outcome(self, incidents):
+        if self.alert_engine is None:
+            return {}
+        alerts = self.alert_engine.alerts
+        leads = alert_lead_times(alerts, incidents)
+        actions = [a for rm in self.rms for a in rm.actions]
+        preemptive = sum(
+            1 for a in actions if a.trigger is FailureKind.PREDICTED
+        )
+        return {
+            "prediction_mode": self.prediction,
+            "alerts_fired": len(alerts),
+            "alert_records": [a.to_dict() for a in alerts],
+            "alert_lead_times": leads,
+            "median_alert_lead": median(leads),
+            "preemptive_actions": preemptive,
+            "policy_stats": [p.stats() for p in self.policies],
         }
 
 

@@ -67,6 +67,18 @@ class ChaosSpec:
     #: Pin every burst fault to one kind instead of drawing from
     #: ``COMPONENT_FAULTS`` (None = draw, the historical behaviour).
     burst_fault: str = None
+    #: Memory-leak injections (§6.4's fault class): each picks a node and
+    #: a front-line component whose every invocation then leaks
+    #: ``leak_bytes`` until the JVM restarts.  µRBs reclaim what has
+    #: leaked so far but the code bug persists — the fault shape that
+    #: separates reactive recovery (wait for OOM) from predictive
+    #: (µRB the leaker before exhaustion).  Zero by default so existing
+    #: campaign schedules (and their RNG draw order) are untouched.
+    leak_faults: int = 0
+    leak_bytes: int = 0  # bytes leaked per invocation
+    #: Fraction of the fault window within which leaks start (early, so
+    #: slow-burn exhaustion has room to play out before the horizon).
+    leak_start_fraction: float = 0.15
 
     @classmethod
     def smoke(cls):
@@ -112,6 +124,33 @@ class ChaosSpec:
             link_faults=0,
             slowdowns=0,
             ssm_outages=0,
+        )
+
+    @classmethod
+    def leaky(cls, leak_faults=3, leak_bytes=36 * 1024 * 1024,
+              duration=420.0):
+        """Pure slow-burn memory leaks, no other fault noise.
+
+        The schedule that isolates *prediction*: distinct front-line
+        components start leaking early in the window, heap drains over
+        minutes, and nothing else breaks — so a reactive arm's failures
+        are exactly the OOM exhaustion events a predictive arm should
+        see coming and preempt.  The default per-invocation leak drains
+        a node's ~890 MB of free heap in two-to-three minutes of
+        traffic: fast enough that the reactive pipeline pays repeated
+        OOM episodes (escalating to WAR/application restarts when µRBs
+        of the leaker can't keep up), slow enough that the heap-trend
+        alert fires minutes ahead of each exhaustion.
+        """
+        return cls(
+            duration=duration,
+            flap_trains=0,
+            bursts=0,
+            link_faults=0,
+            slowdowns=0,
+            ssm_outages=0,
+            leak_faults=leak_faults,
+            leak_bytes=leak_bytes,
         )
 
 
@@ -249,6 +288,23 @@ class ChaosEngine:
                 )
             )
 
+        leak_targets = set()
+        for _leak in range(spec.leak_faults):
+            node = rng.randrange(n_nodes)
+            component = rng.choice(COMPONENT_TARGETS)
+            if (node, component) in leak_targets:
+                continue  # same component twice = double rate, skip it
+            leak_targets.add((node, component))
+            events.append(
+                ChaosEvent(
+                    time=when(spec.leak_start_fraction),
+                    kind="memory-leak",
+                    node=node,
+                    target=component,
+                    params={"bytes": spec.leak_bytes},
+                )
+            )
+
         if self.cluster.ssm is not None:
             for _outage in range(spec.ssm_outages):
                 start = when(0.8)
@@ -298,6 +354,10 @@ class ChaosEngine:
             self.injectors[event.node].inject_deadlock(event.target)
         elif kind == "infinite-loop":
             self.injectors[event.node].inject_infinite_loop(event.target)
+        elif kind == "memory-leak":
+            self.injectors[event.node].inject_memory_leak(
+                event.target, event.params["bytes"]
+            )
         elif kind == "link":
             cluster.load_balancer.inject_link_fault(
                 node,

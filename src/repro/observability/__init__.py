@@ -1,20 +1,46 @@
-"""Incident observability: MTTR decomposition, rolling SLOs, exposition.
+"""Incident observability: MTTR decomposition, rolling SLOs, prediction.
 
 The layer that turns raw TraceBus events into the paper's quantitative
 story: :class:`IncidentTracker` stitches fault → detection → diagnosis →
 recovery → quiet into per-incident MTTR phase decompositions,
 :class:`SloEngine` judges rolling availability/latency windows (publishing
 ``slo.violated`` back onto the bus), and the exporter renders both as
-Prometheus text exposition or JSONL.  Everything here is passive — it
-subscribes, it never schedules — so enabling observability cannot change
-what a simulation does, only what it tells you.
+Prometheus text exposition or JSONL.  On top of that sits the predictive
+half: :class:`EstimatorHub` keeps streaming per-component MTTF /
+failure-rate / hazard estimates, :class:`ComponentHealthRegistry` blends
+hazard + SLO burn + flap history + heap trend into bounded 0–100 health
+scores, and :class:`AlertEngine` thresholds them into sticky
+``alert.fired`` / ``alert.resolved`` bus events.  Everything here is
+passive — it subscribes, it never schedules — so enabling observability
+cannot change what a simulation does, only what it tells you.
 """
 
+from repro.observability.alerts import (
+    Alert,
+    AlertEngine,
+    AlertRule,
+    alert_lead_times,
+    default_rules,
+    median,
+)
+from repro.observability.estimators import (
+    EstimatorHub,
+    Ewma,
+    FailureRateEstimator,
+    MovingAverage,
+    WARMUP,
+)
 from repro.observability.exporter import (
+    health_from_timeline,
     incidents_from_timeline,
+    registry_from_health,
     registry_from_observability,
     render_prometheus,
     write_incidents,
+)
+from repro.observability.health import (
+    ComponentHealthRegistry,
+    HeapTrendTracker,
 )
 from repro.observability.incidents import (
     DEFAULT_QUIET_PERIOD,
@@ -25,7 +51,12 @@ from repro.observability.incidents import (
     max_concurrent_actions,
     path_for_url,
 )
-from repro.observability.report import summarize_incidents, summarize_slo
+from repro.observability.report import (
+    summarize_alerts,
+    summarize_health,
+    summarize_incidents,
+    summarize_slo,
+)
 from repro.observability.slo import (
     SloEngine,
     SloPolicy,
@@ -36,21 +67,38 @@ from repro.observability.slo import (
 )
 
 __all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "ComponentHealthRegistry",
     "DEFAULT_QUIET_PERIOD",
+    "EstimatorHub",
+    "Ewma",
+    "FailureRateEstimator",
+    "HeapTrendTracker",
     "Incident",
     "IncidentTracker",
+    "MovingAverage",
     "SloEngine",
     "SloPolicy",
     "SloWindow",
     "TRACKED_KINDS",
+    "WARMUP",
     "aggregate_incidents",
     "aggregate_slo",
+    "alert_lead_times",
     "compute_windows",
+    "default_rules",
+    "health_from_timeline",
     "incidents_from_timeline",
     "max_concurrent_actions",
+    "median",
     "path_for_url",
+    "registry_from_health",
     "registry_from_observability",
     "render_prometheus",
+    "summarize_alerts",
+    "summarize_health",
     "summarize_incidents",
     "summarize_slo",
     "windows_from_records",

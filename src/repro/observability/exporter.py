@@ -19,6 +19,9 @@ timeline agrees with what the live tracker saw.
 
 import json
 
+from repro.observability.alerts import AlertEngine
+from repro.observability.estimators import EstimatorHub
+from repro.observability.health import HEALTH_KINDS, ComponentHealthRegistry
 from repro.observability.incidents import (
     DEFAULT_QUIET_PERIOD,
     IncidentTracker,
@@ -164,3 +167,75 @@ def incidents_from_timeline(records, url_path_map=None,
     for index, incident in enumerate(incidents, start=1):
         incident.id = index
     return incidents
+
+
+def registry_from_health(rows, registry=None):
+    """Fold a health snapshot into a registry for Prometheus exposition.
+
+    One ``health.score.<server>.<component>`` gauge per component plus
+    per-signal gauges — scrape-shaped, sorted by
+    :func:`render_prometheus` into byte-stable output.
+    """
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = registry if registry is not None else MetricsRegistry()
+    for row in rows:
+        key = f"{row['server'] or '-'}.{row['component']}"
+        registry.gauge(f"health.score.{key}").set(row["score"])
+        for signal in ("hazard", "burn", "flap", "heap"):
+            registry.gauge(f"health.signal.{signal}.{key}").set(row[signal])
+    return registry
+
+
+def health_from_timeline(records, url_path_map=None, rules=None,
+                         quiet_period=DEFAULT_QUIET_PERIOD):
+    """Replay a recorded timeline through the full predictive pipeline.
+
+    Rebuilds, per bus, the same chain a live rig runs — IncidentTracker →
+    EstimatorHub → ComponentHealthRegistry → AlertEngine — and returns
+    ``(health_rows, alerts, incidents)``: the end-of-timeline health
+    snapshot, every alert the ruleset would have fired (recomputed, so
+    ``repro alerts`` works on timelines recorded before alerting
+    existed), and the stitched incidents for lead-time comparison.
+    """
+    tracked = _Subscription(None, TRACKED_KINDS)
+    health_kinds = _Subscription(None, HEALTH_KINDS)
+    report_kinds = ("detector.report", "rm.report")
+    by_bus = {}
+    for record in records:
+        kind = record.get("kind", "")
+        if (
+            tracked.matches(kind)
+            or health_kinds.matches(kind)
+            or kind in report_kinds
+        ):
+            by_bus.setdefault(record.get("bus"), []).append(record)
+    rows, alerts, incidents = [], [], []
+    for bus in sorted(by_bus, key=str):
+        tracker = IncidentTracker(
+            url_path_map=url_path_map, quiet_period=quiet_period
+        )
+        hub = EstimatorHub(tracker=tracker, url_path_map=url_path_map)
+        engine = AlertEngine(rules=rules)
+        registry = ComponentHealthRegistry(hub=hub, alert_engine=engine)
+        end = 0.0
+        for record in sorted(
+            by_bus[bus], key=lambda r: (r["t"], r.get("seq", 0))
+        ):
+            kind = record["kind"]
+            end = max(end, record["t"])
+            if tracked.matches(kind):
+                tracker.feed_record(record)
+            if kind in report_kinds:
+                hub.feed_report(
+                    record["t"], record.get("url", ""),
+                    server=record.get("server"),
+                )
+            if health_kinds.matches(kind):
+                registry.feed_record(record)
+        incidents.extend(tracker.finalize())
+        alerts.extend(engine.finalize(end))
+        rows.extend(registry.snapshot(end))
+    for index, incident in enumerate(incidents, start=1):
+        incident.id = index
+    return rows, alerts, incidents

@@ -221,6 +221,11 @@ class IncidentTracker:
         self.incidents = []
         self._open = []
         self._next_id = 1
+        #: Called with each Incident as it closes (estimators feed on
+        #: these).  Listeners must be passive: closure happens inside
+        #: event intake, so scheduling kernel work here would perturb
+        #: the run the tracker promises not to touch.
+        self.close_listeners = []
         self.bus = bus if bus is not None else (
             kernel.trace if kernel is not None else None
         )
@@ -320,6 +325,8 @@ class IncidentTracker:
         else:
             incident.closed_by = "quiesced"
         self._open.remove(incident)
+        for listener in self.close_listeners:
+            listener(incident)
 
     def _open_incident(self, t, key, server=None, components=(),
                        trigger="fault"):

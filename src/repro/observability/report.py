@@ -1,12 +1,15 @@
-"""Human-readable rendering behind ``repro incidents`` and ``repro slo``.
+"""Human-readable rendering behind ``repro incidents``/``slo``/``health``/
+``alerts``.
 
 Pure text formatting over already-stitched data: a per-incident table with
 a phase waterfall (detection/diagnosis/recovery/residual drawn to scale),
-and the rolling SLO window series with its violations called out.  Both
-renderers are deterministic — same incidents/windows in, same bytes out —
+the rolling SLO window series with its violations called out, the
+per-component health scoreboard, and the alert log with its lead-time
+summary.  All renderers are deterministic — same data in, same bytes out —
 so CLI output can be asserted verbatim in tests.
 """
 
+from repro.observability.alerts import alert_lead_times, median
 from repro.observability.incidents import (
     aggregate_incidents,
     max_concurrent_actions,
@@ -228,4 +231,111 @@ def summarize_slo(windows, policy=None):
         f"mean gaw {summary['mean_gaw']}/s, "
         f"max burn {summary['max_burn']}"
     )
+    return "\n".join(lines)
+
+
+def _score_bar(score, width=20):
+    filled = int(round(score / 100.0 * width))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def summarize_health(rows):
+    """Per-component health scoreboard (sickest first); one string.
+
+    ``rows`` is :meth:`ComponentHealthRegistry.snapshot` output: plain
+    dicts with score + normalized penalty signals, one per component.
+    """
+    lines = [f"{len(rows)} component(s)"]
+    if not rows:
+        return "\n".join(lines)
+    ordered = sorted(
+        rows, key=lambda r: (r["score"], str(r["server"]), r["component"])
+    )
+    table_rows = []
+    for row in ordered:
+        mttf = row.get("mttf")
+        table_rows.append(
+            (
+                row["server"] or "-",
+                row["component"],
+                f"{row['score']:.1f}",
+                _score_bar(row["score"]),
+                f"{row['hazard']:.2f}",
+                f"{row['burn']:.2f}",
+                f"{row['flap']:.2f}",
+                f"{row['heap']:.2f}",
+                f"{mttf:.1f}s" if mttf is not None else "-",
+            )
+        )
+    lines.append("")
+    lines.extend(
+        _table(
+            (
+                "server", "component", "score", "health", "hazard", "burn",
+                "flap", "heap", "mttf",
+            ),
+            table_rows,
+        )
+    )
+    sick = [r for r in ordered if r["score"] < 50.0]
+    lines.append("")
+    if sick:
+        lines.append(
+            f"{len(sick)} component(s) below 50: "
+            + ", ".join(
+                f"{r['component']}@{r['server'] or '-'}" for r in sick
+            )
+        )
+    else:
+        lines.append("no component below 50")
+    return "\n".join(lines)
+
+
+def summarize_alerts(alerts, incidents=None):
+    """Alert log table + (when incidents are given) lead-time summary."""
+    lines = [f"{len(alerts)} alert(s)"]
+    if alerts:
+        rows = []
+        for alert in alerts:
+            rows.append(
+                (
+                    _fmt_s(alert.fired_at),
+                    alert.rule,
+                    alert.severity,
+                    alert.server or "-",
+                    alert.component or "-",
+                    (
+                        f"{alert.value:.2f}"
+                        if alert.value is not None else "-"
+                    ),
+                    (
+                        _fmt_s(alert.resolved_at)
+                        if alert.resolved_at is not None else "active"
+                    ),
+                )
+            )
+        lines.append("")
+        lines.extend(
+            _table(
+                (
+                    "fired", "rule", "severity", "server", "component",
+                    "value", "resolved",
+                ),
+                rows,
+            )
+        )
+    if incidents is not None:
+        leads = alert_lead_times(alerts, incidents)
+        lines.append("")
+        if leads:
+            lines.append(
+                f"lead time: {len(leads)}/{len(incidents)} incident(s) "
+                f"preceded by an alert, median {median(leads):.1f}s "
+                f"(min {leads[0]:.1f}s, max {leads[-1]:.1f}s)"
+            )
+        else:
+            lines.append(
+                f"lead time: 0/{len(incidents)} incident(s) preceded by "
+                "an alert"
+            )
     return "\n".join(lines)

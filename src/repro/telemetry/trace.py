@@ -56,6 +56,8 @@ STICKY_PREFIXES = (
     "ssm.crash",
     "ssm.restart",
     "slo.",
+    "alert.",
+    "heap.",
 )
 
 #: Whether newly constructed buses start enabled (see set_default_tracing).

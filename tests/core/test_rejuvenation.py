@@ -86,6 +86,55 @@ def test_jvm_restart_when_microreboots_cannot_reclaim():
     assert heap.leaked_total == 0
 
 
+def test_double_start_does_not_spawn_a_second_rejuvenator():
+    system = build_toy_system()
+    service = make_service(system, check_interval=2.0)  # make_service starts it
+    first = service.start()  # second start: must be a no-op
+    assert service.start() is first
+    system.kernel.run(until=9.0)
+    # One rejuvenator → one sample per check_interval.  A second process
+    # would double the cadence (8 samples by t=9, not 4).
+    assert service.samples_recorded == 4
+
+
+def test_check_interval_must_be_positive():
+    system = build_toy_system()
+    with pytest.raises(ValueError, match="check_interval"):
+        RejuvenationService(
+            system.kernel, system.coordinator, check_interval=0
+        )
+
+
+def test_memory_samples_ring_is_bounded():
+    from repro.core.rejuvenation import MEMORY_SAMPLE_RETENTION
+
+    system = build_toy_system()
+    service = make_service(system)
+    for i in range(MEMORY_SAMPLE_RETENTION + 50):
+        service._sample()
+    assert len(service.memory_samples) == MEMORY_SAMPLE_RETENTION
+    # The total count survives ring eviction.
+    assert service.samples_recorded == MEMORY_SAMPLE_RETENTION + 50
+
+
+def test_released_history_is_a_smoothed_average():
+    system = build_toy_system()
+    heap = system.server.heap
+    service = make_service(system)
+    leak = int(heap.capacity * 0.60)
+    heap.leak("Greeter", leak)
+    system.kernel.run(until=10.0)
+    first = service.released_history["Greeter"]
+    assert first > 0
+    # A second round releasing the same amount moves the EWMA toward the
+    # observation without snapping to it (alpha < 1 keeps history).
+    heap.leak("Greeter", leak)
+    system.kernel.run(until=20.0)
+    second = service.released_history["Greeter"]
+    assert second > first
+    assert second < leak  # still smoothed, not a raw last-observation
+
+
 def test_memory_timeline_is_recorded():
     system = build_toy_system()
     service = make_service(system, check_interval=2.0)

@@ -1,9 +1,12 @@
-"""CLI surface: the `repro incidents` and `repro slo` subcommands."""
+"""CLI surface: the `repro incidents`, `slo`, `health` and `alerts`
+subcommands."""
 
 import json
 
 from repro.cli import main
 from repro.telemetry import TraceBus, write_timeline
+
+MB = 1024 * 1024
 
 
 def make_timeline(path):
@@ -73,3 +76,73 @@ def test_slo_command_empty_file_is_a_clean_error(tmp_path, capsys):
     path.write_text("")
     assert main(["slo", str(path)]) == 2
     assert "empty timeline" in capsys.readouterr().err
+
+
+def make_predictive_timeline(path):
+    """A timeline with a heap drain (alert fodder) preceding an incident.
+
+    The drain loses 30 MB/s from t=5: two samples in, the trend tracker
+    predicts exhaustion well inside the 120 s rule threshold, so
+    ``heap-exhaustion-predicted`` fires once the 5 s for-duration holds —
+    long before the t=200 incident it "warns" about.
+    """
+    records = []
+    seq = 0
+    for k in range(1, 9):  # t = 5, 10, ..., 40
+        t = 5.0 * k
+        records.append({"t": t, "seq": (seq := seq + 1), "bus": "run",
+                        "kind": "heap.sample", "server": "node1",
+                        "available": 900 * MB - int(t * 30 * MB),
+                        "capacity": 1024 * MB})
+    records.append({"t": 200.0, "seq": (seq := seq + 1), "bus": "run",
+                    "kind": "fault.injected", "target": "Item",
+                    "fault": "leak", "server": "node1"})
+    records.append({"t": 201.0, "seq": (seq := seq + 1), "bus": "run",
+                    "kind": "rm.report", "url": "/ebid/ViewItem",
+                    "server": "node1"})
+    records.append({"t": 203.0, "seq": (seq := seq + 1), "bus": "run",
+                    "kind": "rm.action.end", "level": "ejb",
+                    "target": ["Item"], "ok": True, "duration": 1.0,
+                    "server": "node1"})
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def test_health_command_renders_the_scoreboard(tmp_path, capsys):
+    path = make_predictive_timeline(tmp_path / "timeline.jsonl")
+    assert main(["health", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "component(s)" in out
+    assert "node1" in out and "Item" in out
+    assert "score" in out and "hazard" in out
+
+
+def test_health_command_writes_prometheus_exposition(tmp_path, capsys):
+    path = make_predictive_timeline(tmp_path / "timeline.jsonl")
+    prom_out = tmp_path / "metrics.prom"
+    assert main(["health", str(path), "--prom", str(prom_out)]) == 0
+    prom = prom_out.read_text(encoding="utf-8")
+    assert "# TYPE repro_health_score_node1_Item gauge" in prom
+
+
+def test_alerts_command_renders_log_and_lead_times(tmp_path, capsys):
+    path = make_predictive_timeline(tmp_path / "timeline.jsonl")
+    assert main(["alerts", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "alert(s)" in out
+    assert "heap-exhaustion-predicted" in out
+    assert "lead time:" in out  # the drain warned the t=200 incident
+
+
+def test_alerts_command_handles_a_quiet_timeline(tmp_path, capsys):
+    # No heap drain, no failures worth alerting on: empty log, no crash.
+    path = make_timeline(tmp_path / "timeline.jsonl")
+    assert main(["alerts", str(path)]) == 0
+    assert "alert(s)" in capsys.readouterr().out
+
+
+def test_health_command_missing_file_is_a_clean_error(tmp_path, capsys):
+    assert main(["health", str(tmp_path / "nope.jsonl")]) == 2
+    assert "no such trace file" in capsys.readouterr().err
