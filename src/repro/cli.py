@@ -71,6 +71,7 @@ from repro.experiments import (
     figure5,
     figure6,
     health_prediction,
+    megascale,
     path_diagnosis,
     table1,
     table2,
@@ -98,7 +99,16 @@ EXPERIMENTS = {
     "chaos": (chaos, "Correlated-fault chaos: seed vs hardened pipeline"),
     "prediction": (health_prediction,
                    "Leak-heavy chaos: reactive vs proactive rejuvenation"),
+    "megascale": (megascale,
+                  "~1M sessions: cohort workload on a sharded 128-node "
+                  "cluster, fault at one shard"),
 }
+
+
+def _print_experiments():
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (_module, description) in EXPERIMENTS.items():
+        print(f"  {name.ljust(width)}  {description}")
 
 
 def build_parser():
@@ -114,8 +124,10 @@ def build_parser():
     sub.add_parser("list", help="list the available experiments")
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment",
-                     help="experiment name (see 'repro list') or 'all'")
+    run.add_argument("experiment", nargs="?", default=None,
+                     help="experiment name (see 'repro run --list') or 'all'")
+    run.add_argument("--list", action="store_true", dest="list_scenarios",
+                     help="list the registered scenarios and exit")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--full", action="store_true",
                      help="paper-scale parameters (slow)")
@@ -215,7 +227,7 @@ def run_experiment(name, seed=0, full=False, quick=False, jobs=1):
         module, _description = EXPERIMENTS[name]
     except KeyError:
         raise ValueError(
-            f"unknown experiment: {name!r} (see 'repro list')"
+            f"unknown experiment: {name!r} (see 'repro run --list')"
         ) from None
     kwargs = {"seed": seed}
     accepted = inspect.signature(module.run).parameters
@@ -235,9 +247,7 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
 
     if args.command == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name, (_module, description) in EXPERIMENTS.items():
-            print(f"  {name.ljust(width)}  {description}")
+        _print_experiments()
         return 0
 
     if args.command == "trace":
@@ -320,9 +330,21 @@ def main(argv=None):
             print(f"[Prometheus exposition written to {args.prom}]")
         return 0
 
+    if args.command == "run" and args.list_scenarios:
+        _print_experiments()
+        return 0
+
+    if args.experiment is None:
+        print(
+            "error: missing experiment name (see 'repro run --list')",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(
-            f"error: unknown experiment: {args.experiment} (see 'repro list')",
+            "error: unknown experiment: "
+            f"{args.experiment} (see 'repro run --list')",
             file=sys.stderr,
         )
         return 2

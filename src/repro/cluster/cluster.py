@@ -5,6 +5,7 @@ from dataclasses import dataclass, field
 from repro.appserver.timing import TimingModel
 from repro.cluster.load_balancer import LoadBalancer
 from repro.cluster.node import Node
+from repro.cluster.sharding import BrickGroup, ShardRing
 from repro.ebid.app import build_database, build_ebid_system
 from repro.ebid.descriptors import URL_PATH_MAP
 from repro.ebid.schema import DatasetConfig
@@ -83,4 +84,110 @@ def build_cluster(
         database=database,
         ssm=ssm,
         dataset=dataset,
+    )
+
+
+@dataclass
+class ShardedCluster(Cluster):
+    """A consistent-hash sharded cluster: 100+ nodes in replica groups.
+
+    Extends :class:`Cluster` with the shard topology: the ring, the
+    per-shard replicated SSM brick groups, and the node→shard map the
+    load balancer routes by.  ``nodes`` stays the flat list (shard-major
+    order), so everything written against ``Cluster`` keeps working.
+    """
+
+    ring: ShardRing = None
+    shard_names: tuple = ()
+    shard_groups: dict = field(default_factory=dict)  # shard -> BrickGroup
+    shard_nodes: dict = field(default_factory=dict)  # shard -> [Node]
+    shard_of_node: dict = field(default_factory=dict)  # node name -> shard
+
+    def shard_group(self, shard):
+        return self.shard_groups[shard]
+
+    def nodes_of_shard(self, shard):
+        return list(self.shard_nodes[shard])
+
+
+def build_sharded_cluster(
+    n_shards,
+    nodes_per_shard=1,
+    bricks_per_shard=2,
+    seed=0,
+    dataset=None,
+    timing=None,
+    retry_policy=None,
+    hardening=None,
+    vnodes=64,
+):
+    """Build a consistent-hash sharded cluster of replicated brick groups.
+
+    Each of the ``n_shards`` shards owns a contiguous arc-set of the ring
+    (``vnodes`` virtual nodes each), is served by ``nodes_per_shard``
+    application-server nodes, and keeps its sessions in one replicated
+    :class:`BrickGroup` of ``bricks_per_shard`` SSM bricks — so a single
+    node (or brick) loss inside a shard degrades nothing that failover
+    within the group can't absorb.  One database backs the whole cluster,
+    as in the paper's deployment.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    kernel = Kernel()
+    rng = RngRegistry(seed)
+    timing = timing or TimingModel()
+    dataset = dataset or DatasetConfig()
+    database = build_database(kernel, rng, dataset, timing)
+
+    shard_names = tuple(f"shard{i:03d}" for i in range(n_shards))
+    ring = ShardRing(shard_names, vnodes=vnodes)
+    shard_groups = {}
+    shard_nodes = {}
+    shard_of_node = {}
+    nodes = []
+    for shard in shard_names:
+        group = BrickGroup(
+            kernel, n_bricks=bricks_per_shard, name=f"{shard}/ssm"
+        )
+        shard_groups[shard] = group
+        members = []
+        for j in range(nodes_per_shard):
+            system = build_ebid_system(
+                kernel=kernel,
+                seed=seed,
+                session_store="ssm",
+                dataset=dataset,
+                timing=timing,
+                retry_policy=retry_policy,
+                name=f"{shard}-n{j + 1}",
+                shared_database=database,
+                shared_ssm=group,
+            )
+            node = Node(system)
+            members.append(node)
+            nodes.append(node)
+            shard_of_node[node.name] = shard
+        shard_nodes[shard] = members
+
+    load_balancer = LoadBalancer(
+        kernel,
+        nodes,
+        url_path_map=URL_PATH_MAP,
+        hardening=hardening,
+        ring=ring,
+        shard_of_node=shard_of_node,
+    )
+    return ShardedCluster(
+        kernel=kernel,
+        rng=rng,
+        nodes=nodes,
+        load_balancer=load_balancer,
+        database=database,
+        ssm=None,
+        dataset=dataset,
+        ring=ring,
+        shard_names=shard_names,
+        shard_groups=shard_groups,
+        shard_nodes=shard_nodes,
+        shard_of_node=shard_of_node,
     )

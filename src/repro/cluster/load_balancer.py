@@ -45,11 +45,31 @@ class LoadBalancer:
     """Routes client requests to cluster nodes."""
 
     def __init__(
-        self, kernel, nodes, url_path_map=None, metrics=None, hardening=None
+        self, kernel, nodes, url_path_map=None, metrics=None, hardening=None,
+        ring=None, shard_of_node=None,
     ):
+        """``ring``/``shard_of_node`` switch on consistent-hash sharding:
+        cookie-less requests route to their ``client_id``'s owner shard
+        (instead of global round-robin) and failover walks the owner's
+        brick-group replicas first, then the ring's successor shards.
+        Both default to None, which keeps the classic small-cluster
+        behavior bit-for-bit.
+        """
         self.kernel = kernel
         self.nodes = list(nodes)
         self.url_path_map = dict(url_path_map or {})
+        self.ring = ring
+        self._node_shard = dict(shard_of_node or {})
+        if ring is not None and not self._node_shard:
+            raise ValueError("a ring needs shard_of_node to map nodes")
+        #: shard -> [nodes serving it], in self.nodes order.
+        self._shard_nodes = {}
+        for node in self.nodes:
+            shard = self._node_shard.get(node.name)
+            if shard is not None:
+                self._shard_nodes.setdefault(shard, []).append(node)
+        self._shard_cursor = {}
+        self._ring_successors_cache = {}
         self.hardening = (
             hardening if hardening is not None else HardeningPolicy.disabled()
         )
@@ -83,6 +103,14 @@ class LoadBalancer:
         self._degraded_reason = {}
         self._shed = self.metrics.counter("lb.requests.shed")
         self._degraded_marks = self.metrics.counter("lb.degraded.marks")
+        #: Shard-aware failover accounting: rerouted within the owner's
+        #: replica group vs escaped to a ring-successor shard.
+        self._shard_local_failover = self.metrics.counter(
+            "lb.shard.failover.local"
+        )
+        self._shard_cross_failover = self.metrics.counter(
+            "lb.shard.failover.cross"
+        )
 
     @property
     def requests_routed(self):
@@ -355,6 +383,66 @@ class LoadBalancer:
             return not self._touches(request, components)
         return False
 
+    # ------------------------------------------------------------------
+    # Consistent-hash shard routing (active only when a ring is wired)
+    # ------------------------------------------------------------------
+    def shard_of(self, node):
+        """The shard ``node`` serves, or None without a ring."""
+        return self._node_shard.get(node.name)
+
+    def _node_in_shard(self, shard, request=None, exclude=None,
+                       skip_degraded=False):
+        """An eligible node of ``shard``'s replica group, or None.
+
+        Rotates a per-shard cursor so a multi-node group spreads load
+        evenly; honours recovery windows and (optionally) degraded marks.
+        """
+        nodes = self._shard_nodes.get(shard)
+        if not nodes:
+            return None
+        degraded = self.degraded_nodes() if skip_degraded else ()
+        cursor = self._shard_cursor.get(shard, 0)
+        for i in range(len(nodes)):
+            node = nodes[(cursor + i) % len(nodes)]
+            if node is exclude or node.name in degraded:
+                continue
+            if not self._eligible(node, request):
+                continue
+            self._shard_cursor[shard] = (cursor + i + 1) % len(nodes)
+            return node
+        return None
+
+    def _ring_successor_shards(self, shard):
+        """Deterministic distinct-shard walk order when ``shard``'s own
+        group cannot serve (derived from the ring, cached)."""
+        order = self._ring_successors_cache.get(shard)
+        if order is None:
+            order = tuple(
+                s for s in self.ring.preference(shard) if s != shard
+            )
+            self._ring_successors_cache[shard] = order
+        return order
+
+    def _ring_route(self, request):
+        """Owner-shard placement for a cookie-less request, or None.
+
+        Hashes the request's ``client_id`` on the ring, then walks the
+        preference list (owner shard first, ring successors after) until a
+        shard has an eligible node.  Returning None sends the caller down
+        the legacy global path, which owns the shed-vs-best-effort call.
+        """
+        key = request.client_id if request is not None else 0
+        skip_degraded = self._shedding()
+        for pos, shard in enumerate(self.ring.preference(key)):
+            node = self._node_in_shard(
+                shard, request, skip_degraded=skip_degraded
+            )
+            if node is not None:
+                if pos:
+                    self._shard_cross_failover.inc()
+                return node
+        return None
+
     def _fresh_node(self, request=None):
         """Node for a cookie-less request, or None to shed it.
 
@@ -362,6 +450,10 @@ class LoadBalancer:
         rotation cursor is shared with :meth:`_next_good_node` so the
         round-robin spread stays coherent.
         """
+        if self.ring is not None:
+            node = self._ring_route(request)
+            if node is not None:
+                return node
         if not self._shedding():
             return self._next_good_node(request=request)
         degraded = self.degraded_nodes()
@@ -394,6 +486,34 @@ class LoadBalancer:
         return candidates[0]
 
     def _next_good_node(self, exclude=None, request=None):
+        if self.ring is not None:
+            shard = (
+                self._node_shard.get(exclude.name)
+                if exclude is not None else None
+            )
+            if shard is not None:
+                # Shard-aware failover: the replicated brick group means
+                # any sibling node of the shard can serve the session —
+                # reroute within the group first, then walk the ring.
+                skip_degraded = self._shedding()
+                node = self._node_in_shard(
+                    shard, request, exclude=exclude,
+                    skip_degraded=skip_degraded,
+                )
+                if node is not None:
+                    self._shard_local_failover.inc()
+                    return node
+                for successor in self._ring_successor_shards(shard):
+                    node = self._node_in_shard(
+                        successor, request, skip_degraded=skip_degraded
+                    )
+                    if node is not None:
+                        self._shard_cross_failover.inc()
+                        return node
+            else:
+                node = self._ring_route(request)
+                if node is not None and node is not exclude:
+                    return node
         candidates = [
             node
             for node in self.nodes

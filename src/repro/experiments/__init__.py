@@ -22,6 +22,7 @@ presentation.  ``EXPERIMENTS.md`` records paper-versus-measured values.
 | §5.3/§6.1 six-nines arithmetic        | :mod:`repro.experiments.availability` |
 | Chaos: seed vs hardened pipeline      | :mod:`repro.experiments.chaos` |
 | Prediction: reactive vs proactive µRB | :mod:`repro.experiments.health_prediction` |
+| Megascale: 1M sessions, 128 shards    | :mod:`repro.experiments.megascale` |
 """
 
 from repro.experiments.common import ExperimentResult, SingleNodeRig

@@ -29,13 +29,13 @@ multi-component incidents.
 """
 
 from repro.cluster.cluster import build_cluster
-from repro.cluster.load_balancer import FailoverMode
 from repro.core.hardening import HardeningPolicy, RecoveryStormLimiter
 from repro.core.proactive import ProactiveRejuvenationPolicy
 from repro.core.recovery_manager import FailureKind, RecoveryManager
 from repro.core.retry import RetryPolicy
 from repro.ebid.descriptors import URL_PATH_MAP
 from repro.experiments.common import ExperimentResult
+from repro.experiments.cluster_common import wire_recovery_failover
 from repro.faults.chaos import COMPONENT_TARGETS, ChaosEngine, ChaosSpec
 from repro.observability import (
     AlertEngine,
@@ -53,9 +53,6 @@ from repro.workload.client import ClientPopulation
 from repro.workload.markov import WorkloadProfile
 
 ARMS = ("seed", "hardened", "parallel-recovery")
-
-#: Levels whose recovery takes the whole node out (LB fails over fully).
-NODE_WIDE_LEVELS = ("application", "jvm", "os")
 
 
 def _max_overlap(actions):
@@ -214,68 +211,7 @@ class ChaosClusterRig:
                 self.policies.append(policy)
 
     def _wire_failover(self, rm, node, balancer):
-        """LB coordination (§5.3): full failover for node-wide recoveries,
-        component-scoped MICRO failover for µRBs — and for quarantines.
-
-        A quarantined component answers fast 503s on its own node, but in
-        a cluster the other nodes are healthy: keeping a MICRO failover
-        window open for the quarantined components (§6.1) turns the
-        quarantine from "requests fail fast" into "requests go elsewhere".
-
-        The balancer holds one failover record per node, so with the
-        parallel scheduler several overlapping µRBs must *union* their
-        target sets: each begin/end re-asserts the union of every
-        in-flight action's targets plus the active quarantines, and the
-        window closes only when both are empty.
-        """
-        active_micro = {}
-
-        def micro_union():
-            union = set(rm.active_quarantines())
-            for targets in active_micro.values():
-                union |= targets
-            return union
-
-        def sync_micro(_name=None, _active=None):
-            union = micro_union()
-            if union:
-                balancer.begin_failover(
-                    node, mode=FailoverMode.MICRO, components=union
-                )
-            else:
-                balancer.end_failover(node)
-
-        def begin(action):
-            if action.level in NODE_WIDE_LEVELS:
-                balancer.begin_failover(node, mode=FailoverMode.FULL)
-            elif action.level in ("ejb", "war") and action.target:
-                active_micro[id(action)] = set(action.target)
-                sync_micro()
-
-        def end(action):
-            # Closing this action's failover window must not strand a
-            # concurrent action's redirect or an active quarantine's:
-            # re-assert the remaining union.
-            active_micro.pop(id(action), None)
-            sync_micro()
-
-        sync_quarantine = sync_micro
-
-        def deferred(reason, level, targets, ttl):
-            # A deferred coarse recovery = the RM knows this node is sick
-            # but is letting it breathe.  Meanwhile, route traffic around
-            # it (sessions live in the SSM, so they can be served
-            # anywhere) instead of feeding requests to a broken node —
-            # for the whole backoff, not just one degraded-ttl window.
-            if level != "ejb":
-                balancer.note_degraded(
-                    node, f"recovery-deferred-{reason}", ttl=ttl
-                )
-
-        rm.begin_listeners.append(begin)
-        rm.listeners.append(end)
-        rm.quarantine_listeners.append(sync_quarantine)
-        rm.defer_listeners.append(deferred)
+        wire_recovery_failover(rm, node, balancer)
 
     def _dispatch_report(self, report):
         """Deliver a failure report to the node that served the client."""

@@ -45,29 +45,37 @@ def resolve_task(task):
     return target
 
 
-def telemetry_snapshot():
-    """The parent's telemetry defaults, to be re-applied in each worker.
+def worker_snapshot():
+    """Picklable parent-process state re-applied in each spawned worker.
 
-    ``spawn`` starts from a clean interpreter, so module-level defaults the
-    parent set (e.g. via ``repro run --trace``) would silently reset to off
-    inside workers without this.
+    ``spawn`` starts from a clean interpreter, so two kinds of parent state
+    would silently vanish inside workers without this:
+
+    * module-level telemetry defaults (e.g. ``repro run --trace``);
+    * the dataset snapshot cache — shipping it means a worker's first
+      trial restores the shared synthetic dataset instead of regenerating
+      it (see :func:`repro.ebid.app.build_database`).
     """
+    from repro.ebid.app import export_dataset_snapshots
     from repro.telemetry.spans import spans_enabled_by_default
     from repro.telemetry.trace import tracing_enabled_by_default
 
     return {
         "tracing": tracing_enabled_by_default(),
         "spans": spans_enabled_by_default(),
+        "datasets": export_dataset_snapshots(),
     }
 
 
 def initialize(snapshot):
-    """Pool initializer: apply the parent's telemetry defaults."""
+    """Pool initializer: apply the parent's snapshot in this worker."""
+    from repro.ebid.app import install_dataset_snapshots
     from repro.telemetry.spans import set_default_spans
     from repro.telemetry.trace import set_default_tracing
 
     set_default_tracing(snapshot.get("tracing", False))
     set_default_spans(snapshot.get("spans", False))
+    install_dataset_snapshots(snapshot.get("datasets"))
 
 
 def run_trial(payload):

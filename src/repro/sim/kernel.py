@@ -132,6 +132,14 @@ class Kernel:
         # inserts into the past (enforced in _schedule/succeed/fail), and a
         # binary heap pops in nondecreasing order, so the corruption check
         # that step() performs cannot fire here and is elided.
+        #
+        # Same-timestamp events drain in one inner batch: the clock and
+        # (for the bounded loop) the horizon are checked once per distinct
+        # timestamp instead of once per event.  Simulated systems cluster
+        # events heavily — every think-tick wakes whole cohorts, every
+        # response chain triggers at one instant — and the inner pop is
+        # the same heap pop in the same (time, seq) order, so results
+        # stay byte-identical with the per-event loop.
         queue = self._queue
         pop = heapq.heappop
         record = self._record_unhandled
@@ -140,22 +148,32 @@ class Kernel:
             while queue:
                 when, _seq, event = pop(queue)
                 self._now = when
-                steps += 1
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if event._ok is False and not event.defused:
-                    record(event)
+                while True:
+                    steps += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False and not event.defused:
+                        record(event)
+                    if queue and queue[0][0] == when:
+                        _t, _seq, event = pop(queue)
+                    else:
+                        break
         else:
             while queue and queue[0][0] <= until:
                 when, _seq, event = pop(queue)
                 self._now = when
-                steps += 1
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if event._ok is False and not event.defused:
-                    record(event)
+                while True:
+                    steps += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False and not event.defused:
+                        record(event)
+                    if queue and queue[0][0] == when:
+                        _t, _seq, event = pop(queue)
+                    else:
+                        break
         self.events_processed += steps
         if until is not None:
             self._now = until

@@ -130,6 +130,27 @@ class Histogram:
         index = math.ceil(math.log(value) / self._log_gamma)
         self._buckets[index] = self._buckets.get(index, 0) + 1
 
+    def observe_many(self, value, n):
+        """Record ``n`` identical observations in O(1).
+
+        The batch workload engine observes whole cohorts at once — a
+        thousand clicks sharing one modeled latency land as one bucket
+        increment instead of a thousand :meth:`observe` calls.
+        """
+        if n <= 0:
+            return
+        self.count += n
+        self.sum += value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= self._min_trackable:
+            self._zero_count += n
+            return
+        index = math.ceil(math.log(value) / self._log_gamma)
+        self._buckets[index] = self._buckets.get(index, 0) + n
+
     @property
     def mean(self):
         return self.sum / self.count if self.count else None

@@ -100,6 +100,41 @@ class TawAccounting:
                 if op.failure_kind:
                     self._failures_by_kind.inc(op.failure_kind)
 
+    def record_batch(self, bucket, good_ops=0, bad_ops=0,
+                     good_actions=0, bad_actions=0):
+        """Account a whole cohort of finished operations at once.
+
+        The bounded counterpart of :meth:`record_action` for the batch
+        workload engine: it moves the same counters and per-second series
+        (so availability, Taw windows and the SLO engine read identically)
+        but records **no** per-action or per-operation objects — a million
+        sessions must not allocate a million records.  Response times go
+        separately through :meth:`record_response_times`.
+        """
+        if good_actions:
+            self._good_actions.inc(good_actions)
+        if bad_actions:
+            self._bad_actions.inc(bad_actions)
+        if good_ops:
+            self._good.inc(good_ops)
+            self._good_series[bucket] = (
+                self._good_series.get(bucket, 0) + good_ops
+            )
+        if bad_ops:
+            self._bad.inc(bad_ops)
+            self._bad_series[bucket] = (
+                self._bad_series.get(bucket, 0) + bad_ops
+            )
+
+    def record_response_times(self, seconds, n=1):
+        """Feed ``n`` identical response times to the histogram sketch only.
+
+        Batch-path companion to :meth:`record_batch`: quantiles and the
+        mean stay available via the sketch while the unbounded
+        ``response_times`` list stays untouched.
+        """
+        self._response_time_hist.observe_many(seconds, n)
+
     # ------------------------------------------------------------------
     # Series and summaries
     # ------------------------------------------------------------------
@@ -173,6 +208,10 @@ class TawAccounting:
 
     def mean_response_time(self):
         if not self.response_times:
+            # Batch-recorded runs have no per-request list; the sketch
+            # still knows the exact mean (count and sum are not sketched).
+            if self._response_time_hist.count:
+                return self._response_time_hist.mean
             return None
         return sum(rt for _t, rt in self.response_times) / len(self.response_times)
 

@@ -8,7 +8,7 @@ from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
 def test_every_experiment_registered():
     expected = {f"table{i}" for i in range(1, 7)} | {
         f"figure{i}" for i in range(1, 7)
-    } | {"availability", "pathdiag", "chaos", "prediction"}
+    } | {"availability", "pathdiag", "chaos", "prediction", "megascale"}
     assert set(EXPERIMENTS) == expected
 
 
@@ -41,9 +41,28 @@ def test_run_experiment_handles_signatures():
 def test_unknown_experiment_exits_nonzero_with_one_line_error(capsys):
     # Same error contract as the trace/paths subcommands: exit code 2 and a
     # single "error: ..." line on stderr, never a traceback or usage dump.
+    # The message points at the scenario listing (`repro run --list`).
     assert main(["run", "nope"]) == 2
     captured = capsys.readouterr()
-    assert captured.err == "error: unknown experiment: nope (see 'repro list')\n"
+    assert captured.err == (
+        "error: unknown experiment: nope (see 'repro run --list')\n"
+    )
+    assert captured.out == ""
+
+
+def test_run_list_enumerates_scenarios(capsys):
+    assert main(["run", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_without_experiment_points_at_list(capsys):
+    assert main(["run"]) == 2
+    captured = capsys.readouterr()
+    assert captured.err == (
+        "error: missing experiment name (see 'repro run --list')\n"
+    )
     assert captured.out == ""
 
 
