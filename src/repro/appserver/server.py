@@ -105,6 +105,12 @@ class ApplicationServer:
         #: Request lease: stuck requests are purged after this many seconds.
         self.request_lease_ttl = 12.0
 
+        #: Session-cookie serial: per-server (the name makes the cookie
+        #: cluster-unique), monotone across microreboots, and — unlike a
+        #: process-global counter — deterministic run to run, so session
+        #: placement on a shard ring is a pure function of the seed.
+        self.session_serial = 0
+
         #: Server-level fault hook (bad syscall returns): when set, request
         #: admission fails with the given exception message.
         self.accept_fault = None

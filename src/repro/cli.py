@@ -73,6 +73,7 @@ from repro.experiments import (
     health_prediction,
     megascale,
     path_diagnosis,
+    storm,
     table1,
     table2,
     table3,
@@ -102,6 +103,9 @@ EXPERIMENTS = {
     "megascale": (megascale,
                   "~1M sessions: cohort workload on a sharded 128-node "
                   "cluster, fault at one shard"),
+    "storm": (storm,
+              "K-shard fault storm at 1M sessions: static capacity vs "
+              "elastic resharding with live session migration"),
 }
 
 

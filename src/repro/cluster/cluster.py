@@ -102,6 +102,9 @@ class ShardedCluster(Cluster):
     shard_groups: dict = field(default_factory=dict)  # shard -> BrickGroup
     shard_nodes: dict = field(default_factory=dict)  # shard -> [Node]
     shard_of_node: dict = field(default_factory=dict)  # node name -> shard
+    #: Everything needed to boot *more* shards on the live cluster
+    #: (elastic scale-out builds nodes mid-run with the same recipe).
+    build_params: dict = field(default_factory=dict)
 
     def shard_group(self, shard):
         return self.shard_groups[shard]
@@ -190,4 +193,11 @@ def build_sharded_cluster(
         shard_groups=shard_groups,
         shard_nodes=shard_nodes,
         shard_of_node=shard_of_node,
+        build_params={
+            "seed": seed,
+            "nodes_per_shard": nodes_per_shard,
+            "bricks_per_shard": bricks_per_shard,
+            "timing": timing,
+            "retry_policy": retry_policy,
+        },
     )

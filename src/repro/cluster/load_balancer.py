@@ -129,6 +129,67 @@ class LoadBalancer:
         return int(self._shed.value)
 
     # ------------------------------------------------------------------
+    # Elastic resharding: shards join and leave a live balancer
+    # ------------------------------------------------------------------
+    def add_shard_nodes(self, shard, nodes):
+        """Register a joining shard's nodes for routing.
+
+        The caller owns the cutover ordering (nodes registered *before*
+        the ring learns the shard, so the first rerouted request already
+        has somewhere to go).  Any cached ring-successor walks are stale
+        the moment the ring changes, so the cache is dropped wholesale.
+        """
+        for node in nodes:
+            self.nodes.append(node)
+            self._node_shard[node.name] = shard
+            self._shard_nodes.setdefault(shard, []).append(node)
+        self._ring_successors_cache.clear()
+        self.kernel.trace.publish(
+            "lb.shard.join", shard=shard,
+            nodes=tuple(node.name for node in nodes),
+        )
+
+    def remove_shard(self, shard):
+        """Deregister a departed shard from every routing structure.
+
+        Pruning has to be total: a surviving cursor, degraded mark, ring
+        reference, or affinity pin could hand a request to a node that no
+        longer serves anyone.  Returns the removed nodes (the caller may
+        still drain their in-flight work).
+        """
+        members = self._shard_nodes.pop(shard, [])
+        names = {node.name for node in members}
+        self.nodes = [node for node in self.nodes if node.name not in names]
+        self._shard_cursor.pop(shard, None)
+        # Every cached successor walk enumerates *other* shards too, so a
+        # per-shard pop is not enough: drop the whole cache.
+        self._ring_successors_cache.clear()
+        self._affinity = {
+            cookie: node
+            for cookie, node in self._affinity.items()
+            if node.name not in names
+        }
+        for name in names:
+            self._node_shard.pop(name, None)
+            self._recovering.pop(name, None)
+            self._link_faults.pop(name, None)
+            self._latency.pop(name, None)
+            self._fail_times.pop(name, None)
+            self._degraded_until.pop(name, None)
+            self._degraded_reason.pop(name, None)
+        self.kernel.trace.publish(
+            "lb.shard.leave", shard=shard, nodes=tuple(sorted(names))
+        )
+        return members
+
+    def drop_affinity(self, cookies):
+        """Forget affinity pins for migrated sessions: their state moved
+        to another shard's brick group, so the next request must re-route
+        by the ring instead of returning to the old node."""
+        for cookie in cookies:
+            self._affinity.pop(cookie, None)
+
+    # ------------------------------------------------------------------
     # Chaos injection surface: LB → node link faults
     # ------------------------------------------------------------------
     def inject_link_fault(self, node, delay=0.0, drop_rate=0.0, rng=None):

@@ -118,6 +118,30 @@ class ShardRing:
             counts[self.shard_for(key)] += 1
         return counts
 
+    def arc_measures(self):
+        """Shard → fraction of the 2^64 hash space it owns.
+
+        The exact stationary key share of each shard under uniform
+        hashing, computed by walking the sorted ring once — no key
+        enumeration.  Elastic resharding diffs these measures before and
+        after a churn to plan the *minimal* session delta: a joining
+        shard's intake from each donor is exactly the measure the donor
+        lost, and a leaving shard's keys land on each survivor in
+        proportion to the measure it gained.
+        """
+        if not self._points:
+            return {}
+        space = 1 << 64
+        owned = {shard: 0 for shard in self._shards}
+        # bisect_right routing means the point at hash h owns the arc
+        # (prev_h, h]; the first point also owns the wraparound arc past
+        # the last point, which the negative prev handles.
+        prev = self._points[-1][0] - space
+        for h, shard in self._points:
+            owned[shard] += h - prev
+            prev = h
+        return {shard: arc / space for shard, arc in owned.items()}
+
 
 class BrickGroup:
     """A replicated group of SSM bricks serving one shard's sessions.
@@ -213,10 +237,19 @@ class BrickGroup:
         self.bricks[index].crash()
 
     def restart_brick(self, index):
-        """The brick rejoins; it resyncs nothing until sessions are
-        rewritten (the lease renewals of active sessions do this for
-        free, which is exactly SSM's crash-only story)."""
-        self.bricks[index].restart()
+        """The brick rejoins *empty* (crash-only semantics).
+
+        Whatever the brick held when it crashed is stale by exactly the
+        writes it missed while down; serving that copy as the group's
+        first live hit would hand the application old session state.
+        Wiping on rejoin makes the next read fall through to a current
+        replica, and the next write-all-live replication backfills this
+        brick — the lease renewals of active sessions do that for free.
+        """
+        brick = self.bricks[index]
+        if brick.crashed:
+            brick.wipe()
+        brick.restart()
 
     # ------------------------------------------------------------------
     # Lifecycle notifications

@@ -140,7 +140,8 @@ class EbidWar(WebComponent):
             )
         from repro.stores.sessions import SessionData
 
-        cookie = f"sess-{user_id}-{request.request_id}"
+        self.server.session_serial += 1
+        cookie = f"sess-{user_id}-{self.server.name}-{self.server.session_serial}"
         session = SessionData(cookie, user_id)
         session.attributes = {"user_id": user_id}
         session.created_at = self.server.kernel.now
@@ -173,7 +174,11 @@ class EbidWar(WebComponent):
         )
         from repro.stores.sessions import SessionData
 
-        cookie = f"sess-{result['user_id']}-{request.request_id}"
+        self.server.session_serial += 1
+        cookie = (
+            f"sess-{result['user_id']}-{self.server.name}"
+            f"-{self.server.session_serial}"
+        )
         session = SessionData(cookie, result["user_id"])
         session.attributes = {"user_id": result["user_id"]}
         yield from self._save_session(ctx, session)

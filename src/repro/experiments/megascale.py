@@ -102,13 +102,23 @@ class ProbeOutcomeModel:
     """
 
     def __init__(self, kernel, balancer, ring, shards, reporter=None,
-                 probe_timeout=8.0, alpha=0.4, base_latency=0.05):
+                 probe_timeout=8.0, alpha=0.4, base_latency=0.05,
+                 load_skew=0.0):
         self.kernel = kernel
         self.balancer = balancer
+        self.ring = ring
         self.shards = list(shards)
         self.reporter = reporter
         self.probe_timeout = probe_timeout
         self.alpha = alpha
+        self.base_latency = base_latency
+        #: Per-shard load-skew weighting (the --full unlock): >0 scales a
+        #: shard's modeled latency by how far its session load sits from
+        #: the cluster mean, so consistent-hash imbalance shows up in the
+        #: cohort's response times instead of every shard pretending to
+        #: run at mean load.  0 keeps the historical flat model.
+        self.load_skew = load_skew
+        self._load_factor = {}
         self.detector = SimpleDetector()
         #: (shard, probe class) -> [ewma fail probability, ewma latency]
         self._stats = {
@@ -138,6 +148,55 @@ class ProbeOutcomeModel:
                 pending.discard(shard)
             candidate += 1
         return ids
+
+    # ------------------------------------------------------------------
+    # Elastic resharding hooks
+    # ------------------------------------------------------------------
+    def add_shard(self, shard):
+        """A shard joined the ring: probe it, and re-key *every* probe.
+
+        Ring churn can silently re-route an existing probe id to the new
+        shard, so the whole id set is recomputed from the new ring — a
+        pure function of ring + shard set, preserving determinism.
+        """
+        self.shards.append(shard)
+        for op in PROBE_OPS:
+            self._stats[(shard, op)] = [0.0, self.base_latency]
+        self._probe_ids = self._assign_probe_ids(self.ring)
+
+    def remove_shard(self, shard):
+        """A shard left: stop probing it, re-key the survivors."""
+        self.shards.remove(shard)
+        for op in PROBE_OPS:
+            self._stats.pop((shard, op), None)
+        self.last_failure_kind.pop(shard, None)
+        self._load_factor.pop(shard, None)
+        self._probe_ids = self._assign_probe_ids(self.ring)
+
+    def shard_fail_rate(self, shard):
+        """Worst probe-class failure EWMA for ``shard`` (policy input)."""
+        return max(
+            (
+                stats[0]
+                for (s, _op), stats in self._stats.items()
+                if s == shard
+            ),
+            default=0.0,
+        )
+
+    def update_load_skew(self, sessions_by_shard):
+        """Recompute per-shard latency factors from current session load."""
+        if self.load_skew <= 0.0 or not sessions_by_shard:
+            self._load_factor = {}
+            return
+        mean = sum(sessions_by_shard.values()) / len(sessions_by_shard)
+        if mean <= 0:
+            self._load_factor = {}
+            return
+        self._load_factor = {
+            shard: 1.0 + self.load_skew * (count / mean - 1.0)
+            for shard, count in sessions_by_shard.items()
+        }
 
     # ------------------------------------------------------------------
     def start(self, duration, interval=1.0):
@@ -180,8 +239,9 @@ class ProbeOutcomeModel:
             response = None
         elapsed = self.kernel.now - issued
         failure = self.detector.evaluate(request, response)
-        key = (shard, op)
-        stats = self._stats[key]
+        stats = self._stats.get((shard, op))
+        if stats is None:
+            return  # the shard was drained while this probe was in flight
         failed = 1.0 if failure is not None else 0.0
         stats[0] += self.alpha * (failed - stats[0])
         # A timed-out probe's only latency information is the censoring
@@ -212,6 +272,8 @@ class ProbeOutcomeModel:
     def outcome(self, shard, operation):
         """(fail probability, latency seconds) for one cohort cell."""
         fail_p, latency = self._stats[(shard, OP_PROBE_CLASS[operation])]
+        if self._load_factor:
+            latency *= self._load_factor.get(shard, 1.0)
         return fail_p, latency
 
 
@@ -232,6 +294,7 @@ class MegascaleRig:
         fault_shard_index=None,
         brick_heal_after=60.0,
         observability=True,
+        load_skew=0.0,
     ):
         self.duration = duration
         self.fault = fault
@@ -266,22 +329,7 @@ class MegascaleRig:
         self.rms_by_shard = {}
         self.rms = []
         for shard in shards:
-            members = []
-            for node in self.cluster.shard_nodes[shard]:
-                rm = RecoveryManager(
-                    self.kernel,
-                    node.system.coordinator,
-                    URL_PATH_MAP,
-                    node_controller=node,
-                    recurring_limit=60,
-                    hardening=self.hardening,
-                    storm_limiter=self.storm_limiter,
-                )
-                wire_recovery_failover(rm, node, balancer)
-                rm.start()
-                members.append(rm)
-                self.rms.append(rm)
-            self.rms_by_shard[shard] = members
+            self._wire_shard_rms(shard, self.cluster.shard_nodes[shard])
 
         self.reports = 0
         self._rm_cursor = {}
@@ -291,6 +339,7 @@ class MegascaleRig:
             self.cluster.ring,
             shards,
             reporter=self._dispatch_report,
+            load_skew=load_skew,
         )
         self.engine = CohortEngine(
             self.kernel,
@@ -329,6 +378,31 @@ class MegascaleRig:
                 )
 
     # ------------------------------------------------------------------
+    def _wire_shard_rms(self, shard, nodes):
+        """One hardened RecoveryManager per node, LB-coordinated.
+
+        Also the elastic scale-out path: a shard added mid-run gets the
+        identical pipeline the boot-time shards got.
+        """
+        balancer = self.cluster.load_balancer
+        members = []
+        for node in nodes:
+            rm = RecoveryManager(
+                self.kernel,
+                node.system.coordinator,
+                URL_PATH_MAP,
+                node_controller=node,
+                recurring_limit=60,
+                hardening=self.hardening,
+                storm_limiter=self.storm_limiter,
+            )
+            wire_recovery_failover(rm, node, balancer)
+            rm.start()
+            members.append(rm)
+            self.rms.append(rm)
+        self.rms_by_shard[shard] = members
+        return members
+
     def _rm_for_shard(self, shard):
         """Rotate reports across the shard's recovery managers."""
         members = self.rms_by_shard[shard]
@@ -337,6 +411,9 @@ class MegascaleRig:
         return members[cursor % len(members)]
 
     def _dispatch_report(self, report, shard):
+        members = self.rms_by_shard.get(shard)
+        if not members:
+            return  # the shard was drained while this report was in flight
         self.reports += 1
         self._rm_for_shard(shard).report(report)
 
@@ -374,11 +451,18 @@ class MegascaleRig:
         group.restart_brick(0)
         self.kernel.trace.publish("megascale.brick.heal", shard=shard)
 
-    def run(self):
-        self.probe_model.start(self.duration)
-        self.engine.start(self.duration)
+    def _spawn_scenario(self):
+        """Hook: start this scenario's fault machinery (subclasses
+        override — the storm rig spawns its storm engine and elastic
+        policy here)."""
         if self.fault:
             self.kernel.process(self._fault_script(), name="fault-script")
+
+    def run(self):
+        self.probe_model.update_load_skew(self.engine.shard_sessions)
+        self.probe_model.start(self.duration)
+        self.engine.start(self.duration)
+        self._spawn_scenario()
         horizon = self.duration
         self.kernel.run(until=horizon)
         if self.incident_tracker is not None:

@@ -164,6 +164,7 @@ class ChaosEvent:
     target: str = None  # component name, for component-level faults
     params: dict = field(default_factory=dict)
     applied_at: float = None  # stamped by the engine
+    shard: str = None  # owning shard, for shard-targeted storm events
 
 
 class ChaosEngine:
@@ -400,4 +401,250 @@ class ChaosEngine:
                 "target": event.target,
             }
             for event in self.applied
+        ]
+
+
+# ----------------------------------------------------------------------
+# Shard-targeted storms over a consistent-hash sharded cluster
+# ----------------------------------------------------------------------
+
+#: Shard-level fault kinds a storm cycles through.  ``deadlock`` is a
+#: pulse train the recovery pipeline must repeatedly cure; ``link``
+#: degrades every LB→node link of the shard (the LB's degradation marks
+#: and ring failover contain it); ``brick-crash`` takes one SSM brick
+#: (the replica absorbs it); ``slowdown`` saturates the shard's nodes
+#: with external CPU hogs.
+STORM_KINDS = ("deadlock", "link", "brick-crash", "slowdown")
+
+
+@dataclass(frozen=True)
+class StormSpec:
+    """Knobs for one multi-shard storm (times in simulated seconds)."""
+
+    start: float = 60.0  # quiet warmup before the storm front
+    duration: float = 120.0  # how long injected conditions persist
+    k_shards: int = 8  # how many shards the storm hits
+    #: 0 = all K shards fault at the same instant; >0 = a rolling wave,
+    #: shard i faulting at ``start + i * wave_interval``.
+    wave_interval: float = 0.0
+    kinds: tuple = STORM_KINDS  # cycled over the struck shards, in order
+    deadlock_target: str = "BrowseCategories"
+    pulse_interval: float = 15.0  # deadlock re-injection cadence
+    link_delay: float = 0.2  # extra forward delay on faulted links
+    link_drop_rate: float = 0.35  # forward drop probability
+    slowdown_hogs: int = 3
+
+    @classmethod
+    def smoke(cls):
+        """CI-sized: four shards, one of each fault kind."""
+        return cls(start=20.0, duration=60.0, k_shards=4)
+
+    @classmethod
+    def standard(cls):
+        """The acceptance configuration: K=8 simultaneous shards."""
+        return cls()
+
+
+class ShardStormEngine:
+    """Correlated multi-shard faults on a sharded cluster.
+
+    The storm strikes ``k_shards`` distinct shards (drawn from a
+    dedicated ``storm`` RNG stream, so the schedule is a pure function of
+    the seed), assigning each struck shard one fault kind by cycling
+    ``spec.kinds``.  The whole schedule — times, shards, kinds, targets —
+    is precomputed at construction; node/group *objects* are snapshotted
+    then too, so heal events still find their target even if elastic
+    resharding has since removed the shard from the live cluster (the
+    heal becomes a harmless no-op on a drained shard).
+    """
+
+    def __init__(self, cluster, spec=None, rng=None, name="storm"):
+        self.cluster = cluster
+        self.spec = spec or StormSpec.standard()
+        self.rng = rng if rng is not None else cluster.rng.stream("storm")
+        self.name = name
+        #: Dedicated stream for link drop draws (routing-time randomness
+        #: must never perturb the schedule stream).
+        self._drop_rng = cluster.rng.stream("storm-link-drops")
+        if self.spec.k_shards > len(cluster.shard_names):
+            raise ValueError(
+                f"storm wants {self.spec.k_shards} shards but the cluster "
+                f"has {len(cluster.shard_names)}"
+            )
+        self.storm_shards = tuple(
+            self.rng.sample(list(cluster.shard_names), self.spec.k_shards)
+        )
+        #: Snapshots: the storm keeps injecting/healing against the
+        #: topology it was scheduled on, independent of later resharding.
+        self._shard_nodes = {
+            shard: list(cluster.shard_nodes[shard])
+            for shard in self.storm_shards
+        }
+        self._shard_groups = {
+            shard: cluster.shard_groups[shard] for shard in self.storm_shards
+        }
+        self._injectors = {
+            node.name: FaultInjector(node.system)
+            for shard in self.storm_shards
+            for node in self._shard_nodes[shard]
+        }
+        self.schedule = self._build_schedule()
+        self.applied = []
+        self.counts = {}
+        self._process = None
+
+    @property
+    def kernel(self):
+        return self.cluster.kernel
+
+    def shard_kind(self, shard):
+        """The fault kind the storm assigned to ``shard`` (or None)."""
+        for i, struck in enumerate(self.storm_shards):
+            if struck == shard:
+                return self.spec.kinds[i % len(self.spec.kinds)]
+        return None
+
+    # ------------------------------------------------------------------
+    def _build_schedule(self):
+        spec = self.spec
+        events = []
+        for i, shard in enumerate(self.storm_shards):
+            kind = spec.kinds[i % len(spec.kinds)]
+            onset = spec.start + i * spec.wave_interval
+            horizon = spec.start + spec.duration
+            if kind == "deadlock":
+                # A pulse train: recovery cures each pulse, the storm
+                # re-breaks it — the sustained-pressure shape quarantine
+                # and the storm limiter exist for.
+                t = onset
+                pulse = 0
+                while t < horizon:
+                    events.append(
+                        ChaosEvent(
+                            time=t, kind="deadlock", shard=shard,
+                            target=spec.deadlock_target,
+                            params={"pulse": pulse},
+                        )
+                    )
+                    t += spec.pulse_interval
+                    pulse += 1
+            elif kind == "link":
+                events.append(
+                    ChaosEvent(
+                        time=onset, kind="link", shard=shard,
+                        params={
+                            "delay": spec.link_delay,
+                            "drop_rate": spec.link_drop_rate,
+                        },
+                    )
+                )
+                events.append(
+                    ChaosEvent(time=horizon, kind="link-heal", shard=shard)
+                )
+            elif kind == "brick-crash":
+                events.append(
+                    ChaosEvent(time=onset, kind="brick-crash", shard=shard)
+                )
+                events.append(
+                    ChaosEvent(time=horizon, kind="brick-heal", shard=shard)
+                )
+            elif kind == "slowdown":
+                events.append(
+                    ChaosEvent(
+                        time=onset, kind="slowdown", shard=shard,
+                        params={"hogs": spec.slowdown_hogs},
+                    )
+                )
+                events.append(
+                    ChaosEvent(
+                        time=horizon, kind="slowdown-heal", shard=shard
+                    )
+                )
+            else:  # pragma: no cover - spec validation
+                raise ValueError(f"unknown storm kind {kind!r}")
+        events.sort(key=lambda event: event.time)
+        return events
+
+    # ------------------------------------------------------------------
+    def start(self):
+        if self._process is None or not self._process.is_alive:
+            self._process = self.kernel.process(
+                self._run(), name=f"{self.name}-engine"
+            )
+        return self._process
+
+    def _run(self):
+        self.kernel.trace.publish(
+            "storm.begin",
+            shards=self.storm_shards,
+            events=len(self.schedule),
+            horizon=self.spec.start + self.spec.duration,
+        )
+        for event in self.schedule:
+            delay = event.time - self.kernel.now
+            if delay > 0:
+                yield self.kernel.timeout(delay)
+            self._apply(event)
+        self.kernel.trace.publish("storm.end", applied=len(self.applied))
+
+    def _apply(self, event):
+        kind = event.kind
+        nodes = self._shard_nodes[event.shard]
+        balancer = self.cluster.load_balancer
+        if kind == "deadlock":
+            for node in nodes:
+                self._injectors[node.name].inject_deadlock(event.target)
+        elif kind == "link":
+            for node in nodes:
+                balancer.inject_link_fault(
+                    node,
+                    delay=event.params["delay"],
+                    drop_rate=event.params["drop_rate"],
+                    rng=self._drop_rng,
+                )
+        elif kind == "link-heal":
+            for node in nodes:
+                balancer.clear_link_fault(node)
+        elif kind == "brick-crash":
+            self._shard_groups[event.shard].crash_brick(0)
+        elif kind == "brick-heal":
+            self._shard_groups[event.shard].restart_brick(0)
+        elif kind == "slowdown":
+            for node in nodes:
+                node.inject_slowdown(hogs=event.params["hogs"])
+        elif kind == "slowdown-heal":
+            for node in nodes:
+                node.clear_slowdown()
+        else:  # pragma: no cover - schedule builder only emits the above
+            raise ValueError(f"unknown storm event kind {kind!r}")
+        event.applied_at = self.kernel.now
+        self.applied.append(event)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.kernel.trace.publish(
+            "storm.event", kind=kind, shard=event.shard, target=event.target
+        )
+
+    # ------------------------------------------------------------------
+    def timeline(self):
+        """Applied events as plain dicts (for JSON-able campaign output)."""
+        return [
+            {
+                "time": round(event.applied_at, 6),
+                "kind": event.kind,
+                "shard": event.shard,
+                "target": event.target,
+            }
+            for event in self.applied
+        ]
+
+    def planned_schedule(self):
+        """The precomputed schedule as plain dicts (determinism gating)."""
+        return [
+            {
+                "time": round(event.time, 6),
+                "kind": event.kind,
+                "shard": event.shard,
+                "target": event.target,
+            }
+            for event in self.schedule
         ]

@@ -106,6 +106,17 @@ class SSM:
         self.crashed = True
         self.kernel.trace.publish("ssm.crash", store=self.name)
 
+    def wipe(self):
+        """Drop every stored session and its lease (no availability change).
+
+        The crash-only resync path for a brick rejoining a replicated
+        group: state it kept across the crash is stale by the writes it
+        missed, so the group wipes the rejoiner and lets write-all-live
+        replication backfill it from current copies.
+        """
+        for session_id in list(self._sessions):
+            self._discard(session_id)
+
     def restart(self):
         """The brick rejoins: reads and writes flow again."""
         self.crashed = False

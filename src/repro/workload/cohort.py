@@ -96,6 +96,48 @@ def binomial(rng, n, p):
     return min(n, max(0, draw))
 
 
+def proportional_split(counts, take):
+    """Split ``take`` units across cells proportionally to ``counts``.
+
+    Largest-remainder apportionment, capped per cell and RNG-free, so a
+    migration plan is a pure function of the tables it drains — the
+    determinism contract (same seed ⇒ same plan, jobs=1 ≡ jobs=N) needs
+    nothing beyond the tables themselves.  Returns a list of takes,
+    ``0 <= take_i <= counts[i]`` and ``sum == min(take, sum(counts))``.
+    """
+    total = sum(counts)
+    take = min(take, total)
+    out = [0] * len(counts)
+    if take <= 0:
+        return out
+    remaining = take
+    quotas = []
+    for i, count in enumerate(counts):
+        if count <= 0:
+            continue
+        exact = take * count / total
+        base = min(count, int(exact))
+        out[i] = base
+        remaining -= base
+        quotas.append((exact - base, count, i))
+    # Hand out the remainder by largest fractional part (ties broken by
+    # cell index, for a stable order), skipping saturated cells; loop in
+    # case caps force a second pass.
+    while remaining > 0:
+        quotas.sort(key=lambda q: (-q[0], q[2]))
+        progressed = False
+        for frac, count, i in quotas:
+            if remaining <= 0:
+                break
+            if out[i] < count:
+                out[i] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:  # every cell saturated (take == total)
+            break
+    return out
+
+
 def multinomial(rng, n, probs):
     """Split ``n`` across categories with probabilities ``probs``.
 
@@ -274,6 +316,7 @@ class CohortEngine:
         self.reporter = reporter
         self.max_details_per_tick = max_details_per_tick
         self.detail_retention = detail_retention
+        self._rng_registry = rng_registry
         self._rngs = {
             shard: rng_registry.stream(f"cohort/{shard}")
             for shard in self.shards
@@ -308,6 +351,14 @@ class CohortEngine:
         self._detail_serial = 0
         self.ticks_run = 0
         self._process = None
+        #: Elastic resharding state: sessions mid-migration (extracted
+        #: from their source shard, not yet released into the target),
+        #: retired shards (kept for summary/accounting completeness), and
+        #: the per-move log the reshard plans are gated on.
+        self._in_transit = []  # [release_time, target shard, state vector]
+        self._retired = []
+        self.migrations = []
+        self.sessions_migrated = 0
 
     # ------------------------------------------------------------------
     def _place_sessions(self, ring):
@@ -329,6 +380,106 @@ class CohortEngine:
         return placed
 
     # ------------------------------------------------------------------
+    # Elastic resharding: shards join/leave, sessions migrate live
+    # ------------------------------------------------------------------
+    def add_shard(self, shard):
+        """A shard joins: empty tables, its own dedicated RNG stream."""
+        if shard in self.shards or shard in self._retired:
+            raise ValueError(f"shard {shard!r} already known to the engine")
+        self.shards.append(shard)
+        self._rngs[shard] = self._rng_registry.stream(f"cohort/{shard}")
+        self.counts[shard] = [0] * len(self.space)
+        self.shard_sessions[shard] = 0
+        self.shard_good_series[shard] = {}
+        self.shard_bad_series[shard] = {}
+
+    def retire_shard(self, shard):
+        """A drained shard leaves the tick loop.
+
+        Its series and session history stay behind so cluster-level
+        availability accounting remains complete; only future ticks stop
+        visiting it.  Refuses while sessions still live there or are in
+        flight toward it — retiring those would *lose* them.
+        """
+        if shard not in self.shards:
+            raise KeyError(shard)
+        if sum(self.counts[shard]):
+            raise ValueError(f"retire_shard({shard!r}): sessions still live")
+        if any(target == shard for _t, target, _v in self._in_transit):
+            raise ValueError(f"retire_shard({shard!r}): migrations inbound")
+        self.shards.remove(shard)
+        self._retired.append(shard)
+
+    def begin_migration(self, source, target, count, window=2.0):
+        """Extract ``count`` sessions from ``source``; release them into
+        ``target`` after ``window`` simulated seconds.
+
+        Copy-then-cutover: the extracted sessions spend the window in an
+        in-transit buffer — briefly unavailable (they issue no clicks, so
+        migration shows up as a Gaw dip, never as failures) but always
+        counted, so :meth:`population` conservation holds throughout.
+        The per-cell extraction is largest-remainder proportional over
+        the source's occupied cells: deterministic, RNG-free, and
+        statistically faithful to the cohort's state mix.
+        Returns how many sessions actually moved (≤ ``count``).
+        """
+        if target not in self.counts or target in self._retired:
+            raise KeyError(target)
+        table = self.counts[source]
+        takes = proportional_split(table, count)
+        moved = sum(takes)
+        if moved <= 0:
+            return 0
+        vector = [0] * len(table)
+        for idx, take in enumerate(takes):
+            if take:
+                table[idx] -= take
+                vector[idx] = take
+        self.shard_sessions[source] -= moved
+        self._in_transit.append([self.kernel.now + window, target, vector])
+        self.sessions_migrated += moved
+        self.migrations.append(
+            {
+                "source": source,
+                "target": target,
+                "sessions": moved,
+                "at": round(self.kernel.now, 6),
+                "window": window,
+            }
+        )
+        if self.kernel.trace.enabled:
+            self.kernel.trace.publish(
+                "cohort.migrate", source=source, target=target,
+                sessions=moved, window=window,
+            )
+        return moved
+
+    def in_transit(self):
+        """Sessions currently inside a migration window."""
+        return sum(sum(vector) for _t, _target, vector in self._in_transit)
+
+    def _release_arrivals(self, now):
+        """Fold due in-transit vectors into their target shard's tables."""
+        due, keep = [], []
+        for entry in self._in_transit:
+            (due if entry[0] <= now + 1e-9 else keep).append(entry)
+        if not due:
+            return
+        self._in_transit = keep
+        for _t, target, vector in due:
+            table = self.counts[target]
+            arrived = 0
+            for idx, n in enumerate(vector):
+                if n:
+                    table[idx] += n
+                    arrived += n
+            self.shard_sessions[target] += arrived
+            if self.kernel.trace.enabled:
+                self.kernel.trace.publish(
+                    "cohort.migrate.arrived", target=target, sessions=arrived
+                )
+
+    # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
     def start(self, duration):
@@ -347,6 +498,8 @@ class CohortEngine:
     def run_tick(self):
         """Advance every cohort by one think-time tick."""
         now = self.kernel.now
+        if self._in_transit:
+            self._release_arrivals(now)
         bucket = int(now)
         space = self.space
         states = space.states
@@ -475,8 +628,15 @@ class CohortEngine:
     # Summaries
     # ------------------------------------------------------------------
     def population(self):
-        """Total sessions currently tracked (conservation invariant)."""
-        return sum(sum(table) for table in self.counts.values())
+        """Total sessions currently tracked (conservation invariant).
+
+        Includes sessions inside a migration window: in transit is
+        unavailable, not lost.
+        """
+        return (
+            sum(sum(table) for table in self.counts.values())
+            + self.in_transit()
+        )
 
     def operations_mix(self):
         """Operation → fraction of issued clicks (Table 1's shape)."""
@@ -500,9 +660,14 @@ class CohortEngine:
         }
 
     def shard_summary(self):
-        """Per-shard sessions, clicks and availability (sorted rows)."""
+        """Per-shard sessions, clicks and availability (sorted rows).
+
+        Retired shards keep their rows: their clicks happened and still
+        count toward cluster availability; ``sessions`` shows the 0 they
+        drained to.
+        """
         rows = []
-        for shard in self.shards:
+        for shard in list(self.shards) + self._retired:
             good = sum(self.shard_good_series[shard].values())
             bad = sum(self.shard_bad_series[shard].values())
             total = good + bad

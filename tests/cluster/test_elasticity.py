@@ -1,0 +1,220 @@
+"""Tests for live elastic resharding: coordinator, policy, LB cutover."""
+
+import pytest
+
+from repro.cluster.cluster import build_sharded_cluster
+from repro.cluster.elasticity import (
+    ElasticPolicy,
+    ReshardCoordinator,
+    apportion,
+)
+from repro.ebid.schema import DatasetConfig
+from repro.stores.sessions import SessionData
+from repro.workload.cohort import CohortEngine
+
+
+def _setup(n_shards=6, n_sessions=1200, seed=0, outcome=None):
+    cluster = build_sharded_cluster(
+        n_shards, seed=seed, dataset=DatasetConfig.tiny()
+    )
+    engine = CohortEngine(
+        cluster.kernel,
+        cluster.rng,
+        outcome or (lambda shard, op: (0.0, 0.05)),
+        n_sessions,
+        cluster.shard_names,
+        ring=cluster.ring,
+    )
+    coordinator = ReshardCoordinator(cluster, engine, migration_window=1.0)
+    return cluster, engine, coordinator
+
+
+# ----------------------------------------------------------------------
+# apportion
+# ----------------------------------------------------------------------
+def test_apportion_splits_exactly_and_deterministically():
+    weights = [0.4, 0.0, 0.35, 0.25]
+    for total in (0, 1, 7, 100, 1201):
+        split = apportion(weights, total)
+        assert sum(split) == max(0, total)
+        assert split[1] == 0  # zero weight gets nothing
+        assert split == apportion(weights, total)
+    assert apportion([0.0, 0.0], 10) == [0, 0]
+    assert apportion([], 10) == []
+    big = apportion([2.0, 1.0, 1.0], 4000)
+    assert big == [2000, 1000, 1000]
+
+
+# ----------------------------------------------------------------------
+# ReshardCoordinator
+# ----------------------------------------------------------------------
+def test_add_shard_steals_minimal_delta_with_zero_loss():
+    cluster, engine, coordinator = _setup()
+    name = coordinator.add_shard()
+    assert name == "shard006"  # serial continues after the boot set
+    assert name in cluster.ring.shards
+    assert name in cluster.shard_names
+    assert cluster.shard_of_node[f"{name}-n1"] == name
+    # Nodes registered with the balancer before the ring cut over.
+    assert any(
+        node.name == f"{name}-n1" for node in cluster.load_balancer.nodes
+    )
+    # Copy-then-cutover: the stolen sessions are in flight, all counted.
+    assert engine.in_transit() > 0
+    assert engine.population() == 1200
+
+    engine.start(5.0)
+    cluster.kernel.run(until=5.0)
+    assert engine.in_transit() == 0
+    assert engine.population() == 1200
+    assert engine.shard_sessions[name] > 0
+
+    (plan,) = coordinator.plans
+    assert plan["op"] == "add" and plan["shard"] == name
+    assert plan["sessions"] == sum(plan["sources"].values()) > 0
+    # Minimal delta: every donor gave sessions in proportion to the arc
+    # measure the ring took from it — nobody else moved anything.
+    assert set(plan["sources"]) <= set(engine.shards) - {name}
+
+
+def test_remove_shard_moves_store_sessions_and_forgets_the_shard():
+    cluster, engine, coordinator = _setup()
+    ring = cluster.ring
+    victim = "shard002"
+    # A concrete SSM session homed on the victim shard.
+    sid = next(
+        f"user{i}" for i in range(10_000)
+        if ring.shard_for(f"user{i}") == victim
+    )
+    cluster.shard_groups[victim].write(sid, SessionData(sid, user_id=9))
+
+    engine.start(10.0)
+    plan = coordinator.remove_shard(victim)
+
+    assert victim not in ring.shards
+    assert victim not in cluster.shard_names
+    assert victim not in cluster.shard_groups
+    assert all(not node.name.startswith(victim) for node in cluster.nodes)
+    # Incident attribution survives the departure...
+    assert cluster.shard_of_node[f"{victim}-n1"] == victim
+    # ...but the balancer forgot the shard completely.
+    lb = cluster.load_balancer
+    assert all(lb.shard_of(node) != victim for node in lb.nodes)
+    # The stored session followed the ring to its new home, readably.
+    new_home = ring.shard_for(sid)
+    assert cluster.shard_groups[new_home].read(sid).user_id == 9
+    assert plan["store_sessions"] == 1
+    assert plan["sessions"] == sum(plan["targets"].values()) > 0
+
+    cluster.kernel.run(until=10.0)
+    assert engine.population() == 1200
+    assert victim not in engine.shards
+
+
+def test_cross_shard_failover_never_selects_departed_shard():
+    cluster, engine, coordinator = _setup()
+    lb = cluster.load_balancer
+    victim = "shard001"
+    # Prime the per-shard cursors and ring-successor caches so stale
+    # state would linger if removal didn't prune it.
+    for shard in cluster.shard_names:
+        lb._ring_successor_shards(shard)
+        lb._node_in_shard(shard)
+    coordinator.remove_shard(victim)
+    assert lb._node_in_shard(victim) is None
+    for shard in cluster.shard_names:
+        assert victim not in lb._ring_successor_shards(shard)
+    assert victim not in lb._shard_cursor
+    assert f"{victim}-n1" not in lb._degraded_until
+    assert f"{victim}-n1" not in lb._node_shard
+
+
+def test_add_then_remove_round_trip_restores_placement():
+    cluster, engine, coordinator = _setup()
+    ring = cluster.ring
+    before = {key: ring.shard_for(key) for key in range(1200)}
+    engine.start(20.0)
+    name = coordinator.add_shard()
+    cluster.kernel.run(until=5.0)
+    coordinator.remove_shard(name)
+    assert {key: ring.shard_for(key) for key in before} == before
+    cluster.kernel.run(until=20.0)
+    assert engine.population() == 1200
+    assert set(engine.shards) == set(cluster.shard_names)
+    assert [p["op"] for p in coordinator.plans] == ["add", "remove"]
+
+
+def test_coordinator_error_contracts():
+    cluster, engine, coordinator = _setup(n_shards=2)
+    with pytest.raises(ValueError):
+        coordinator.add_shard("shard000")  # already on the ring
+    with pytest.raises(KeyError):
+        coordinator.remove_shard("missing")
+    coordinator.remove_shard("shard000")
+    cluster.kernel.run(until=5.0)
+    with pytest.raises(ValueError):
+        coordinator.remove_shard("shard001")  # never strand the cluster
+
+
+# ----------------------------------------------------------------------
+# ElasticPolicy
+# ----------------------------------------------------------------------
+class StubProbeModel:
+    """Minimal probe-model surface: one shard persistently sick."""
+
+    def __init__(self, shards, sick):
+        self.shards = list(shards)
+        self.sick = sick
+
+    def add_shard(self, shard):
+        self.shards.append(shard)
+
+    def remove_shard(self, shard):
+        self.shards.remove(shard)
+
+    def shard_fail_rate(self, shard):
+        return 1.0 if shard == self.sick else 0.0
+
+
+def test_policy_replaces_persistently_sick_shard_once():
+    cluster, engine, coordinator = _setup()
+    sick = "shard003"
+    probes = StubProbeModel(cluster.shard_names, sick)
+    coordinator.probe_model = probes
+    policy = ElasticPolicy(
+        cluster.kernel, coordinator, probes, confirm=2, check_interval=1.0
+    )
+    engine.start(30.0)
+    policy.start(30.0)
+    cluster.kernel.run(until=30.0)
+
+    assert len(policy.replacements) == 1
+    replacement = policy.replacements[0]
+    assert replacement["replaced"] == sick
+    assert replacement["with"] == "shard006"
+    assert sick not in cluster.ring.shards
+    assert "shard006" in cluster.ring.shards
+    # Confirmation streak: no replacement before two sick checks.
+    assert replacement["at"] >= 2 * policy.check_interval
+    assert engine.population() == 1200
+    assert [p["op"] for p in coordinator.plans] == ["add", "remove"]
+
+
+def test_policy_respects_replacement_budget():
+    cluster, engine, coordinator = _setup()
+
+    class EverythingSick(StubProbeModel):
+        def shard_fail_rate(self, shard):
+            return 1.0
+
+    probes = EverythingSick(cluster.shard_names, sick=None)
+    coordinator.probe_model = probes
+    policy = ElasticPolicy(
+        cluster.kernel, coordinator, probes,
+        confirm=1, check_interval=1.0, cooldown=0.0, max_replacements=3,
+    )
+    engine.start(30.0)
+    policy.start(30.0)
+    cluster.kernel.run(until=30.0)
+    assert len(policy.replacements) == 3
+    assert engine.population() == 1200

@@ -69,6 +69,27 @@ def test_preference_starts_at_owner_and_is_distinct():
         assert ring.preference(key, limit=3) == prefs[:3]
 
 
+def test_arc_measures_sum_to_one_and_diff_is_minimal():
+    ring = ShardRing([f"shard{i:03d}" for i in range(16)])
+    before = ring.arc_measures()
+    assert set(before) == set(ring.shards)
+    assert abs(sum(before.values()) - 1.0) < 1e-12
+    assert all(measure > 0 for measure in before.values())
+    # Adding a shard: it owns exactly what the incumbents lost, and no
+    # incumbent *gains* — the measure-space twin of "only steals keys".
+    ring.add_shard("shard016")
+    after = ring.arc_measures()
+    assert abs(sum(after.values()) - 1.0) < 1e-12
+    for shard in before:
+        assert after[shard] <= before[shard] + 1e-12
+    lost = sum(before[s] - after[s] for s in before)
+    assert abs(after["shard016"] - lost) < 1e-12
+
+
+def test_arc_measures_empty_ring():
+    assert ShardRing().arc_measures() == {}
+
+
 def test_ring_error_contracts():
     with pytest.raises(ValueError):
         ShardRing(vnodes=0)
@@ -135,6 +156,23 @@ def test_crashed_brick_drops_writes_until_rewritten():
     # The next write (a lease renewal, in SSM terms) resyncs the rejoiner.
     group.write("s1", _session("s1", user_id=2))
     assert group.bricks[1].read("s1").user_id == 2
+
+
+def test_restarted_brick_never_serves_stale_objects():
+    # Regression: a brick that crashed, missed writes, and restarted used
+    # to rejoin with its pre-crash contents — and, being brick 0, served
+    # the *stale* object on the next read.  Crash-only semantics: restart
+    # wipes, the miss falls through to a live replica, and the next
+    # write-all-live backfills the rejoiner.
+    group = _group()
+    group.write("s1", _session("s1", user_id=1))
+    group.crash_brick(0)
+    group.write("s1", _session("s1", user_id=2))
+    group.restart_brick(0)
+    assert group.bricks[0].read("s1") is None  # wiped, not stale
+    assert group.read("s1").user_id == 2
+    group.write("s1", _session("s1", user_id=3))
+    assert group.bricks[0].read("s1").user_id == 3  # backfilled
 
 
 def test_delete_removes_everywhere():

@@ -8,7 +8,8 @@ from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
 def test_every_experiment_registered():
     expected = {f"table{i}" for i in range(1, 7)} | {
         f"figure{i}" for i in range(1, 7)
-    } | {"availability", "pathdiag", "chaos", "prediction", "megascale"}
+    } | {"availability", "pathdiag", "chaos", "prediction", "megascale",
+         "storm"}
     assert set(EXPERIMENTS) == expected
 
 

@@ -105,3 +105,90 @@ class TestInjectorLog:
             InjectedFault("transient-exception", "ViewItem", 12.5)
         ]
         assert published and published[0]["target"] == "ViewItem"
+
+
+# ----------------------------------------------------------------------
+# Multi-shard storms
+# ----------------------------------------------------------------------
+def make_sharded(seed=0, n_shards=8):
+    from repro.cluster.cluster import build_sharded_cluster
+
+    return build_sharded_cluster(
+        n_shards, seed=seed, dataset=DatasetConfig.tiny(),
+        retry_policy=RetryPolicy.retry_only(),
+    )
+
+
+class TestShardStorm:
+    def test_same_seed_same_storm_schedule(self):
+        from repro.faults.chaos import ShardStormEngine, StormSpec
+
+        spec = StormSpec.smoke()
+        a = ShardStormEngine(make_sharded(seed=11), spec=spec)
+        b = ShardStormEngine(make_sharded(seed=11), spec=spec)
+        c = ShardStormEngine(make_sharded(seed=12), spec=spec)
+        assert a.storm_shards == b.storm_shards
+        assert a.planned_schedule() == b.planned_schedule()
+        assert a.planned_schedule() != c.planned_schedule()
+
+    def test_storm_strikes_k_distinct_shards_with_cycled_kinds(self):
+        from repro.faults.chaos import STORM_KINDS, ShardStormEngine, StormSpec
+
+        spec = StormSpec.smoke()
+        engine = ShardStormEngine(make_sharded(), spec=spec)
+        assert len(set(engine.storm_shards)) == spec.k_shards == 4
+        kinds = [engine.shard_kind(s) for s in engine.storm_shards]
+        assert kinds == list(STORM_KINDS)  # one of each at K=4
+        assert engine.shard_kind("not-struck") is None
+        # Every event inside the storm window; heals exactly at horizon.
+        horizon = spec.start + spec.duration
+        for entry in engine.planned_schedule():
+            if entry["kind"].endswith("-heal"):
+                assert entry["time"] == horizon
+            else:
+                assert spec.start <= entry["time"] < horizon
+
+    def test_rolling_wave_staggered_onsets(self):
+        from repro.faults.chaos import ShardStormEngine, StormSpec
+
+        spec = StormSpec(start=10.0, duration=40.0, k_shards=4,
+                         wave_interval=5.0)
+        engine = ShardStormEngine(make_sharded(), spec=spec)
+        onsets = {}
+        for entry in engine.planned_schedule():
+            if not entry["kind"].endswith("-heal"):
+                onsets.setdefault(entry["shard"], entry["time"])
+        assert sorted(onsets.values()) == [10.0, 15.0, 20.0, 25.0]
+
+    def test_storm_applies_and_heals_on_a_live_cluster(self):
+        from repro.faults.chaos import ShardStormEngine, StormSpec
+
+        cluster = make_sharded()
+        spec = StormSpec(start=5.0, duration=30.0, k_shards=4)
+        engine = ShardStormEngine(cluster, spec=spec)
+        engine.start()
+        cluster.kernel.run(until=60.0)
+        assert len(engine.applied) == len(engine.schedule)
+        assert {"deadlock", "link", "link-heal", "brick-crash",
+                "brick-heal", "slowdown", "slowdown-heal"} <= set(
+                    engine.counts)
+        # Deadlock re-injected as a pulse train, not a one-shot.
+        assert engine.counts["deadlock"] == len(
+            [e for e in engine.schedule if e.kind == "deadlock"]
+        ) >= 2
+        # Everything healed: no link faults or hogs left behind.
+        assert not cluster.load_balancer._link_faults
+        for shard in engine.storm_shards:
+            assert not cluster.shard_groups[shard].crashed
+        assert engine.timeline()[-1]["time"] == spec.start + spec.duration
+
+    def test_storm_rejects_k_beyond_cluster(self):
+        import pytest
+
+        from repro.faults.chaos import ShardStormEngine, StormSpec
+
+        with pytest.raises(ValueError):
+            ShardStormEngine(
+                make_sharded(n_shards=2),
+                spec=StormSpec(k_shards=4),
+            )

@@ -21,6 +21,7 @@ from repro.workload.cohort import (
     CohortStateSpace,
     binomial,
     multinomial,
+    proportional_split,
 )
 from repro.workload.markov import ACTION_TEMPLATES
 
@@ -172,6 +173,85 @@ def test_ring_placement_covers_all_sessions():
     assert sum(engine.shard_sessions.values()) == 400
     # Consistent hashing, not round-robin: placement follows the ring.
     assert engine.shard_sessions == ring.counts(range(400))
+
+
+# ----------------------------------------------------------------------
+# Elastic migration: shards join/leave, sessions move with zero loss
+# ----------------------------------------------------------------------
+def test_proportional_split_conserves_caps_and_is_deterministic():
+    counts = [10, 0, 3, 87, 0, 1]
+    for take in (0, 1, 7, 50, 101, 500):
+        split = proportional_split(counts, take)
+        assert sum(split) == min(take, sum(counts))
+        assert all(0 <= s <= c for s, c in zip(split, counts))
+        assert split == proportional_split(counts, take)  # RNG-free
+    assert proportional_split([0, 0], 5) == [0, 0]
+    # The big cell contributes proportionally, not everything.
+    split = proportional_split(counts, 50)
+    assert 0 < split[3] < counts[3]
+
+
+def test_migration_is_conserved_and_released_after_window():
+    kernel, engine = _engine(n_sessions=1000)
+    s1_before = engine.shard_sessions["s1"]
+    moved = engine.begin_migration("s0", "s1", 200, window=2.0)
+    assert moved == 200
+    # Copy-then-cutover: extracted but not yet arrived — still counted.
+    assert engine.in_transit() == 200
+    assert engine.population() == 1000
+    assert engine.shard_sessions["s0"] == 500 - 200
+    assert engine.migrations == [
+        {"source": "s0", "target": "s1", "sessions": 200,
+         "at": 0.0, "window": 2.0}
+    ]
+    engine.start(5.0)
+    kernel.run(until=5.0)
+    assert engine.in_transit() == 0
+    assert engine.population() == 1000
+    assert engine.shard_sessions["s1"] == s1_before + 200
+    assert engine.sessions_migrated == 200
+
+
+def test_add_shard_and_retire_shard_guards():
+    kernel, engine = _engine(n_sessions=400)
+    engine.add_shard("s2")
+    assert engine.shard_sessions["s2"] == 0
+    with pytest.raises(ValueError):
+        engine.add_shard("s2")
+    # Retiring refuses while sessions live there or are in flight to it.
+    engine.begin_migration("s0", "s2", 50, window=1.0)
+    with pytest.raises(ValueError):
+        engine.retire_shard("s2")
+    engine.start(10.0)
+    kernel.run(until=3.0)
+    moved_back = engine.begin_migration("s2", "s0", 50, window=1.0)
+    assert moved_back == 50
+    kernel.run(until=6.0)
+    engine.retire_shard("s2")
+    assert "s2" not in engine.shards
+    assert engine.population() == 400
+    with pytest.raises(KeyError):
+        engine.begin_migration("s0", "s2", 10)  # retired target
+    with pytest.raises(KeyError):
+        engine.retire_shard("missing")
+    # The retired shard still appears in the accounting summary.
+    assert any(r["shard"] == "s2" for r in engine.shard_summary())
+
+
+def test_migrating_sessions_pause_but_never_fail():
+    # In-transit sessions issue no clicks: a migration is a Gaw dip,
+    # never a failure burst.  Every s0 click would fail here — but all
+    # of s0 is in transit while s0 is sick, and lands on healthy s1.
+    fail_s0 = lambda shard, op: (1.0 if shard == "s0" else 0.0, 0.05)  # noqa: E731
+    kernel, engine = _engine(n_sessions=600, outcome=fail_s0)
+    moved = engine.begin_migration("s0", "s1", 300, window=3.0)
+    assert moved == 300
+    assert engine.shard_sessions["s0"] == 0
+    engine.start(10.0)
+    kernel.run(until=10.0)
+    assert engine.metrics.failed_requests == 0
+    assert engine.metrics.good_requests > 0
+    assert engine.population() == 600
 
 
 # ----------------------------------------------------------------------
