@@ -33,6 +33,7 @@ fired/resolved alerts with lead times versus the stitched incidents.
 
 import argparse
 import inspect
+import json
 import sys
 import time
 from contextlib import nullcontext
@@ -41,16 +42,23 @@ from pathlib import Path
 from repro.diagnosis.report import summarize_paths
 from repro.ebid.descriptors import URL_PATH_MAP
 from repro.observability import (
+    ClusterIncidentCorrelator,
     SloPolicy,
     health_from_timeline,
     incidents_from_timeline,
+    registry_from_cluster,
     registry_from_health,
     registry_from_observability,
     render_prometheus,
+    shard_of_incident,
+    shard_windows_from_records,
+    shards_from_timeline,
     summarize_alerts,
     summarize_health,
     summarize_incidents,
+    summarize_shards,
     summarize_slo,
+    timeline_shards,
     windows_from_records,
     write_incidents,
 )
@@ -169,6 +177,9 @@ def build_parser():
              "(|| = concurrent recovery under the parallel scheduler)",
     )
     incidents.add_argument("file", type=Path)
+    incidents.add_argument("--shard", default=None,
+                           help="only incidents attributed to this shard "
+                                "(megascale/storm timelines)")
     incidents.add_argument("--json", type=Path, default=None,
                            help="also write incidents as JSONL here")
     incidents.add_argument("--prom", type=Path, default=None,
@@ -186,8 +197,28 @@ def build_parser():
                      help="per-window availability target")
     slo.add_argument("--latency", type=float, default=8.0,
                      help="per-window p99 ceiling in seconds")
+    slo.add_argument("--shard", default=None,
+                     help="judge one shard's windows from the cluster "
+                          "plane's shard.window events (window width is "
+                          "fixed at capture time)")
     slo.add_argument("--prom", type=Path, default=None,
                      help="also write Prometheus text exposition here")
+
+    shards = sub.add_parser(
+        "shards",
+        help="render the cluster observability plane's per-shard rollups "
+             "from a megascale/storm timeline: availability, probe "
+             "p50/p99, failovers, migration flow, capacity signals, and "
+             "the storm meta-incident waterfall with migration marks",
+    )
+    shards.add_argument("file", type=Path)
+    shards.add_argument("--shard", default=None,
+                        help="limit the table and signals to one shard")
+    shards.add_argument("--json", type=Path, default=None,
+                        help="also write the rollup view as JSON here")
+    shards.add_argument("--prom", type=Path, default=None,
+                        help="also write Prometheus text exposition here "
+                             "(shard=\"...\" labelled families)")
 
     health = sub.add_parser(
         "health",
@@ -273,6 +304,11 @@ def main(argv=None):
         if records is None:
             return 2
         incidents = incidents_from_timeline(records, url_path_map=URL_PATH_MAP)
+        if args.shard is not None:
+            incidents = [
+                i for i in incidents
+                if shard_of_incident(i) == args.shard
+            ]
         print(summarize_incidents(incidents))
         if args.json is not None:
             written = write_incidents(args.json, incidents)
@@ -321,13 +357,63 @@ def main(argv=None):
             availability_target=args.availability,
             latency_target=args.latency,
         )
-        windows = windows_from_records(records, policy=policy)
+        if args.shard is not None:
+            windows = shard_windows_from_records(
+                records, args.shard, policy=policy
+            )
+            if not windows:
+                seen = timeline_shards(records)
+                hint = (
+                    f" (shards in timeline: {', '.join(seen)})"
+                    if seen else ""
+                )
+                print(
+                    f"error: no shard SLO windows for {args.shard!r}{hint}",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            windows = windows_from_records(records, policy=policy)
         print(summarize_slo(windows, policy=policy))
         if args.prom is not None:
             incidents = incidents_from_timeline(
                 records, url_path_map=URL_PATH_MAP
             )
             registry = registry_from_observability(incidents, windows)
+            args.prom.write_text(
+                render_prometheus(registry), encoding="utf-8"
+            )
+            print(f"[Prometheus exposition written to {args.prom}]")
+        return 0
+
+    if args.command == "shards":
+        records = _load_timeline(args.file)
+        if records is None:
+            return 2
+        view = shards_from_timeline(records)
+        incidents = incidents_from_timeline(records, url_path_map=URL_PATH_MAP)
+        correlator = ClusterIncidentCorrelator()
+        metas = correlator.correlate(
+            incidents, migrations=view["migrations"], storm=view["storm"]
+        )
+        meta_dicts = [m.to_dict() for m in metas]
+        print(
+            summarize_shards(
+                view, meta_incidents=meta_dicts, shard=args.shard
+            )
+        )
+        if args.json is not None:
+            payload = dict(view)
+            payload["meta_incidents"] = meta_dicts
+            args.json.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"[shard rollup view written to {args.json}]")
+        if args.prom is not None:
+            registry = registry_from_cluster(
+                view["shards"], signals=view["capacity_signals"]
+            )
             args.prom.write_text(
                 render_prometheus(registry), encoding="utf-8"
             )

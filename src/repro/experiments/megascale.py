@@ -48,9 +48,11 @@ from repro.experiments.cluster_common import wire_recovery_failover
 from repro.faults.chaos import COMPONENT_TARGETS
 from repro.faults.injector import FaultInjector
 from repro.observability import (
+    ClusterIncidentCorrelator,
     ComponentHealthRegistry,
     EstimatorHub,
     IncidentTracker,
+    ShardMetricsAggregator,
     SloEngine,
     aggregate_incidents,
     aggregate_slo,
@@ -112,6 +114,11 @@ class ProbeOutcomeModel:
         self.probe_timeout = probe_timeout
         self.alpha = alpha
         self.base_latency = base_latency
+        #: Optional passive hook ``observer(t, shard, op, ok, latency)``:
+        #: the cluster observability plane samples per-probe outcomes here
+        #: (the EWMAs keep no history, so p50/p99 need live observation).
+        #: None by default — a run without the plane pays one ``is None``.
+        self.observer = None
         #: Per-shard load-skew weighting (the --full unlock): >0 scales a
         #: shard's modeled latency by how far its session load sits from
         #: the cluster mean, so consistent-hash imbalance shows up in the
@@ -243,6 +250,10 @@ class ProbeOutcomeModel:
         if stats is None:
             return  # the shard was drained while this probe was in flight
         failed = 1.0 if failure is not None else 0.0
+        if self.observer is not None:
+            self.observer(
+                self.kernel.now, shard, op, failure is None, elapsed
+            )
         stats[0] += self.alpha * (failed - stats[0])
         # A timed-out probe's only latency information is the censoring
         # point itself; feeding it keeps the cohort's modeled RT honest
@@ -294,6 +305,7 @@ class MegascaleRig:
         fault_shard_index=None,
         brick_heal_after=60.0,
         observability=True,
+        cluster_plane=True,
         load_skew=0.0,
     ):
         self.duration = duration
@@ -358,6 +370,8 @@ class MegascaleRig:
         self.incident_tracker = None
         self.slo_engine = None
         self.health_registry = None
+        self.shard_metrics = None
+        self.correlator = None
         if observability:
             self.kernel.trace.enabled = True
             self.incident_tracker = IncidentTracker(
@@ -376,6 +390,13 @@ class MegascaleRig:
                 self.health_registry.register(
                     node.system.server.name, COMPONENT_TARGETS
                 )
+            if cluster_plane:
+                self.shard_metrics = ShardMetricsAggregator(
+                    bus=self.kernel.trace, cluster=self.cluster
+                )
+                self.shard_metrics.bind_engine(self.engine)
+                self.probe_model.observer = self.shard_metrics.observe_probe
+                self.correlator = ClusterIncidentCorrelator()
 
     # ------------------------------------------------------------------
     def _wire_shard_rms(self, shard, nodes):
@@ -469,6 +490,8 @@ class MegascaleRig:
             self.incident_tracker.finalize(horizon)
         if self.slo_engine is not None:
             self.slo_engine.evaluate(horizon)
+        if self.shard_metrics is not None:
+            self.shard_metrics.collect(self.engine, duration=horizon)
         return self.outcome()
 
     # ------------------------------------------------------------------
@@ -555,11 +578,41 @@ class MegascaleRig:
             )
         if self.slo_engine is not None:
             out["slo"] = aggregate_slo(self.slo_engine.windows)
+        if self.shard_metrics is not None:
+            out["cluster"] = self._cluster_outcome()
         health = self.shard_health()
         if health:
             sick = {s: h for s, h in health.items() if h < 100.0}
             out["sick_shards_health"] = dict(sorted(sick.items()))
         return out
+
+    def _cluster_outcome(self):
+        """The observability plane's view: rollups, signals, correlation.
+
+        Everything here is derived by passive observers — popping the
+        ``cluster`` key must leave an outcome byte-identical to a
+        plane-off run (the benchmark gate).
+        """
+        plane = self.shard_metrics
+        policy = getattr(self, "policy", None)
+        replacements = (
+            [dict(r) for r in policy.replacements] if policy is not None
+            else []
+        )
+        metas = self.correlator.correlate(
+            self.incident_tracker.incidents,
+            replacements=replacements,
+            migrations=plane.migrations,
+            shard_of_node=self.cluster.shard_of_node,
+            storm=plane.storm,
+        )
+        return {
+            "rollup": plane.rows(),
+            "summary": plane.cluster_summary(),
+            "capacity_signals": list(plane.capacity_signals),
+            "meta_incidents": [m.to_dict() for m in metas],
+            "unclustered_incidents": self.correlator.unclustered,
+        }
 
 
 def run_one_arm(arm, seed, n_sessions, n_shards, nodes_per_shard, duration):
@@ -659,6 +712,17 @@ def run(seed=0, full=False, quick=False, jobs=1, scale=None):
         sick = o.get("sick_shards_health")
         if sick:
             result.notes.append(f"{arm}: shard health dips {sick}")
+        cluster = o.get("cluster")
+        if cluster:
+            summary = cluster["summary"]
+            pressured = summary["pressured_shards"]
+            result.notes.append(
+                f"{arm} rollup: cluster probe p50/p99 "
+                f"{summary['probe_p50']}/{summary['probe_p99']}s, "
+                f"{summary['slo_violations']} shard-SLO window violation(s), "
+                f"{len(cluster['capacity_signals'])} capacity signal(s), "
+                f"pressured at end: {pressured if pressured else 'none'}"
+            )
     steady, faulted = outcomes["steady"], outcomes["shardfault"]
     if steady["availability"] and faulted["availability"]:
         blast = faulted.get("worst_shard") or {}

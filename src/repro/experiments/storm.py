@@ -63,6 +63,7 @@ class StormRig(MegascaleRig):
         load_skew=0.0,
         migration_window=2.0,
         observability=True,
+        cluster_plane=True,
     ):
         super().__init__(
             seed=seed,
@@ -73,6 +74,7 @@ class StormRig(MegascaleRig):
             tick=tick,
             fault=False,
             observability=observability,
+            cluster_plane=cluster_plane,
             load_skew=load_skew,
         )
         self.storm_spec = storm_spec or StormSpec.standard()
@@ -300,6 +302,28 @@ def run(seed=0, full=False, quick=False, jobs=1, scale=None):
                 for p in reshard["plans"]
             )
             result.notes.append(f"{arm}: reshard plan — {moves}")
+        cluster = o.get("cluster")
+        if cluster:
+            summary = cluster["summary"]
+            metas = cluster["meta_incidents"]
+            note = (
+                f"{arm} rollup: cluster probe p99 {summary['probe_p99']}s, "
+                f"{summary['slo_violations']} shard-SLO window violation(s), "
+                f"{len(cluster['capacity_signals'])} capacity signal(s), "
+                f"{len(metas)} meta-incident(s)"
+            )
+            if metas:
+                meta = metas[0]
+                note += (
+                    f"; #1 {meta['mode']} over {len(meta['shards'])} "
+                    f"shard(s), span {meta['span']}s "
+                    f"(detect {meta['phases']['detect']}s / decide "
+                    f"{meta['phases']['decide']}s / migrate "
+                    f"{meta['phases']['migrate']}s / drain "
+                    f"{meta['phases']['drain']}s), "
+                    f"{len(meta['migrations'])} migration(s) attributed"
+                )
+            result.notes.append(note)
     static, elastic = outcomes["storm"], outcomes["storm+elastic"]
     if static["availability"] and elastic["availability"]:
         result.notes.append(

@@ -15,6 +15,16 @@ passive — it subscribes, it never schedules — so enabling observability
 cannot change what a simulation does, only what it tells you.
 """
 
+from repro.observability.cluster import (
+    ClusterIncidentCorrelator,
+    MetaIncident,
+    ShardMetricsAggregator,
+    shard_of_incident,
+    shard_of_name,
+    shard_windows_from_records,
+    shards_from_timeline,
+    timeline_shards,
+)
 from repro.observability.alerts import (
     Alert,
     AlertEngine,
@@ -33,6 +43,7 @@ from repro.observability.estimators import (
 from repro.observability.exporter import (
     health_from_timeline,
     incidents_from_timeline,
+    registry_from_cluster,
     registry_from_health,
     registry_from_observability,
     render_prometheus,
@@ -55,6 +66,7 @@ from repro.observability.report import (
     summarize_alerts,
     summarize_health,
     summarize_incidents,
+    summarize_shards,
     summarize_slo,
 )
 from repro.observability.slo import (
@@ -70,6 +82,7 @@ __all__ = [
     "Alert",
     "AlertEngine",
     "AlertRule",
+    "ClusterIncidentCorrelator",
     "ComponentHealthRegistry",
     "DEFAULT_QUIET_PERIOD",
     "EstimatorHub",
@@ -78,7 +91,9 @@ __all__ = [
     "HeapTrendTracker",
     "Incident",
     "IncidentTracker",
+    "MetaIncident",
     "MovingAverage",
+    "ShardMetricsAggregator",
     "SloEngine",
     "SloPolicy",
     "SloWindow",
@@ -94,13 +109,20 @@ __all__ = [
     "max_concurrent_actions",
     "median",
     "path_for_url",
+    "registry_from_cluster",
     "registry_from_health",
     "registry_from_observability",
     "render_prometheus",
+    "shard_of_incident",
+    "shard_of_name",
+    "shard_windows_from_records",
+    "shards_from_timeline",
     "summarize_alerts",
     "summarize_health",
     "summarize_incidents",
+    "summarize_shards",
     "summarize_slo",
+    "timeline_shards",
     "windows_from_records",
     "write_incidents",
 ]

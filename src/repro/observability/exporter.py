@@ -28,7 +28,13 @@ from repro.observability.incidents import (
     TRACKED_KINDS,
 )
 from repro.telemetry.trace import _Subscription
-from repro.telemetry.metrics import Counter, CounterFamily, Gauge, Histogram
+from repro.telemetry.metrics import (
+    Counter,
+    CounterFamily,
+    Gauge,
+    GaugeFamily,
+    Histogram,
+)
 
 
 def _metric_name(name, prefix):
@@ -76,11 +82,13 @@ def render_prometheus(registry, prefix="repro_"):
         elif isinstance(metric, Gauge):
             lines.append(f"# TYPE {prom} gauge")
             lines.append(f"{prom} {_fmt_value(metric.value)}")
-        elif isinstance(metric, CounterFamily):
-            lines.append(f"# TYPE {prom} counter")
+        elif isinstance(metric, (CounterFamily, GaugeFamily)):
+            kind = "counter" if isinstance(metric, CounterFamily) else "gauge"
+            label_name = getattr(metric, "label", "key") or "key"
+            lines.append(f"# TYPE {prom} {kind}")
             for label, value in sorted(metric.as_dict().items()):
                 lines.append(
-                    f'{prom}{{key="{_escape_label(label)}"}} '
+                    f'{prom}{{{label_name}="{_escape_label(label)}"}} '
                     f"{_fmt_value(value)}"
                 )
         elif isinstance(metric, Histogram):
@@ -184,6 +192,72 @@ def registry_from_health(rows, registry=None):
         registry.gauge(f"health.score.{key}").set(row["score"])
         for signal in ("hazard", "burn", "flap", "heap"):
             registry.gauge(f"health.signal.{signal}.{key}").set(row[signal])
+    return registry
+
+
+def registry_from_cluster(rows, summary=None, signals=(), registry=None):
+    """Fold per-shard rollup rows into ``shard=``-labelled families.
+
+    One gauge/counter family per rollup statistic, labelled by shard, plus
+    the cluster-level reduction as flat gauges — scrape-shaped for the
+    ``repro shards --prom`` surface.
+    """
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = registry if registry is not None else MetricsRegistry()
+    gauges = (
+        ("shard.availability", "availability"),
+        ("shard.sessions", "sessions"),
+        ("shard.gaw_per_second", "gaw_per_second"),
+        ("shard.probe_p50_seconds", "probe_p50"),
+        ("shard.probe_p99_seconds", "probe_p99"),
+        ("shard.capacity_score", "capacity_score"),
+        ("shard.headroom", "headroom"),
+    )
+    counters = (
+        ("shard.probes", "probes"),
+        ("shard.probe_failures", "probe_failures"),
+        ("shard.failovers", "failovers"),
+        ("shard.storm_events", "storm_events"),
+        ("shard.migrated_in", "migrated_in"),
+        ("shard.migrated_out", "migrated_out"),
+        ("shard.slo_violations", None),  # nested under "slo" in live rows
+    )
+    for row in rows:
+        shard = row.get("shard")
+        if not shard:
+            continue
+        for name, key in gauges:
+            value = row.get(key)
+            if value is not None:
+                registry.gauge_family(name, label="shard").set(shard, value)
+        registry.gauge_family("shard.pressured", label="shard").set(
+            shard, 1 if row.get("pressured") else 0
+        )
+        for name, key in counters:
+            if key is None:
+                slo = row.get("slo") or {}
+                value = slo.get("violations", row.get("slo_violations"))
+            else:
+                value = row.get(key)
+            if value:
+                registry.family(name, label="shard").inc(shard, value)
+    if summary:
+        for key in (
+            "availability", "probe_p50", "probe_p99", "sessions",
+            "probes", "probe_failures", "failovers", "slo_violations",
+        ):
+            value = summary.get(key)
+            if value is not None:
+                registry.gauge(f"cluster.{key}").set(value)
+        registry.gauge("cluster.shards").set(summary.get("shards", len(rows)))
+        registry.gauge("cluster.pressured_shards").set(
+            len(summary.get("pressured_shards", ()))
+        )
+    if signals:
+        by_kind = registry.family("cluster.capacity_signals", label="signal")
+        for signal in signals:
+            by_kind.inc(signal.get("signal", "unknown"))
     return registry
 
 

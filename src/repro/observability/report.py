@@ -10,6 +10,7 @@ so CLI output can be asserted verbatim in tests.
 """
 
 from repro.observability.alerts import alert_lead_times, median
+from repro.observability.cluster import shard_of_incident
 from repro.observability.incidents import (
     aggregate_incidents,
     max_concurrent_actions,
@@ -100,14 +101,23 @@ def summarize_incidents(incidents, waterfall_width=44):
     if not incidents:
         return "\n".join(lines)
 
+    # The shard column only appears when at least one incident attributes
+    # to a shard, so flat single-node timelines keep their historical
+    # rendering byte for byte.
+    shards = [shard_of_incident(incident) for incident in incidents]
+    with_shards = any(shards)
     rows = []
-    for incident in incidents:
+    for incident, shard in zip(incidents, shards):
         phases = incident.phases()
-        rows.append(
+        row = [
+            incident.id,
+            incident.key,
+            incident.server or "-",
+        ]
+        if with_shards:
+            row.append(shard or "-")
+        row.extend(
             (
-                incident.id,
-                incident.key,
-                incident.server or "-",
                 incident.trigger,
                 _fmt_s(incident.opened_at),
                 _fmt_s(incident.span),
@@ -120,17 +130,18 @@ def summarize_incidents(incidents, waterfall_width=44):
                 incident.closed_by or "open",
             )
         )
-    lines.append("")
-    lines.extend(
-        _table(
-            (
-                "id", "key", "server", "trigger", "opened", "span",
-                "detect", "diagnose", "recover", "residual", "reports",
-                "actions", "closed by",
-            ),
-            rows,
+        rows.append(tuple(row))
+    headers = ["id", "key", "server"]
+    if with_shards:
+        headers.append("shard")
+    headers.extend(
+        (
+            "trigger", "opened", "span", "detect", "diagnose", "recover",
+            "residual", "reports", "actions", "closed by",
         )
     )
+    lines.append("")
+    lines.extend(_table(tuple(headers), rows))
 
     lines.append("")
     lines.append(
@@ -288,6 +299,166 @@ def summarize_health(rows):
         )
     else:
         lines.append("no component below 50")
+    return "\n".join(lines)
+
+
+#: Meta-incident phase → glyph for the cluster waterfall bars.
+_META_GLYPHS = (
+    ("detect", "d"),
+    ("decide", "D"),
+    ("migrate", "M"),
+    ("drain", "r"),
+)
+
+
+def _slo_violations(row):
+    """SLO violation count from a live (nested) or replayed (flat) row."""
+    slo = row.get("slo")
+    if isinstance(slo, dict):
+        return slo.get("violations")
+    return row.get("slo_violations")
+
+
+def _meta_waterfall(meta, width=44):
+    """One scaled cluster-MTTR bar with ``*`` marks at migration starts."""
+    span = meta.get("span") or 0.0
+    phases = meta.get("phases") or {}
+    if span <= 0:
+        return "|" + "".ljust(width) + "|"
+    cells = []
+    for phase, glyph in _META_GLYPHS:
+        n = int(round(phases.get(phase, 0.0) / span * width))
+        cells.append(glyph * n)
+    bar = list("".join(cells)[:width].ljust(width))
+    opened = meta.get("opened_at", 0.0)
+    for migration in meta.get("migrations", ()):
+        position = int((migration["at"] - opened) / span * width)
+        if 0 <= position < width:
+            bar[position] = "*"
+    return "|" + "".join(bar) + "|"
+
+
+def summarize_shards(view, meta_incidents=None, shard=None):
+    """Per-shard rollup table + storm waterfall + capacity signals.
+
+    ``view`` is the cluster plane's rollup view — a live outcome's
+    ``cluster`` section or :func:`~repro.observability.cluster.
+    shards_from_timeline` output: ``{"shards": [rows], "capacity_signals":
+    [...], "migrations": [...], "storm": {...}}``.  ``meta_incidents`` are
+    :meth:`MetaIncident.to_dict` dicts; ``shard`` filters the table.
+    """
+    rows = view.get("shards") or view.get("rollup") or []
+    if shard is not None:
+        rows = [r for r in rows if r.get("shard") == shard]
+    lines = [f"{len(rows)} shard(s)"]
+    good = sum(r.get("good") or 0 for r in rows)
+    bad = sum(r.get("bad") or 0 for r in rows)
+    if good + bad:
+        lines[0] += f", cluster availability {good / (good + bad):.6f}"
+    if not rows:
+        return "\n".join(lines)
+
+    storm = view.get("storm")
+    if storm and storm.get("shards"):
+        lines.append(
+            f"storm at t={storm.get('at'):g}s struck "
+            f"{len(storm['shards'])} shard(s): "
+            + ", ".join(storm["shards"])
+        )
+
+    table_rows = []
+    for row in rows:
+        availability = row.get("availability")
+        violations = _slo_violations(row)
+        flags = []
+        if row.get("pressured"):
+            flags.append("PRESSURE")
+        if row.get("storm_events"):
+            flags.append("storm")
+        table_rows.append(
+            (
+                row["shard"],
+                row.get("sessions", "-"),
+                f"{availability:.6f}" if availability is not None else "-",
+                row.get("gaw_per_second", "-"),
+                (
+                    f"{row['probe_p50']:.3f}"
+                    if row.get("probe_p50") is not None else "-"
+                ),
+                (
+                    f"{row['probe_p99']:.3f}"
+                    if row.get("probe_p99") is not None else "-"
+                ),
+                f"{row.get('probes', 0)}({row.get('probe_failures', 0)})",
+                row.get("failovers", 0),
+                row.get("migrated_in", 0),
+                row.get("migrated_out", 0),
+                f"{row.get('capacity_score', 1.0):.2f}",
+                violations if violations is not None else "-",
+                " ".join(flags),
+            )
+        )
+    lines.append("")
+    lines.extend(
+        _table(
+            (
+                "shard", "sessions", "avail", "gaw/s", "p50", "p99",
+                "probes(f)", "failover", "in", "out", "capacity",
+                "slo viol", "",
+            ),
+            table_rows,
+        )
+    )
+
+    if meta_incidents:
+        lines.append("")
+        lines.append(
+            f"{len(meta_incidents)} meta-incident(s) "
+            "(d=detect D=decide M=migrate r=drain, *=migration start):"
+        )
+        for meta in meta_incidents:
+            lines.append(
+                f"  #{meta['id']:<3} t={meta['opened_at']:8.1f}s "
+                f"{_meta_waterfall(meta)} {meta['span']:7.1f}s  "
+                f"{len(meta['shards'])} shard(s) {meta['mode']}"
+            )
+            lines.append(
+                "       shards: " + ", ".join(meta["shards"])
+            )
+            if meta.get("absorbed"):
+                lines.append(
+                    "       (struck but incident-silent: "
+                    + ", ".join(meta["absorbed"]) + ")"
+                )
+            for migration in meta.get("migrations", ()):
+                lines.append(
+                    f"       ~> {migration['source']} -> "
+                    f"{migration['target']}: {migration['sessions']} "
+                    f"session(s) @ t={migration['at']:g}s "
+                    f"({migration.get('window', 0.0):g}s window)"
+                )
+            for replacement in meta.get("replacements", ()):
+                lines.append(
+                    f"       => replaced {replacement['replaced']} with "
+                    f"{replacement['with']} @ t={replacement['at']:g}s "
+                    f"(fail rate {replacement.get('fail_rate')})"
+                )
+
+    signals = view.get("capacity_signals") or []
+    if shard is not None:
+        signals = [s for s in signals if s.get("shard") == shard]
+    lines.append("")
+    if signals:
+        lines.append(f"{len(signals)} capacity signal(s):")
+        for signal in signals:
+            lines.append(
+                f"  t={signal['t']:8.1f}s {signal['shard']} "
+                f"{signal['signal'].upper():8} "
+                f"ewma={signal.get('ewma')} "
+                f"headroom={signal.get('headroom')}"
+            )
+    else:
+        lines.append("no capacity signals")
     return "\n".join(lines)
 
 

@@ -30,6 +30,7 @@ from repro.telemetry.metrics import (
     Counter,
     CounterFamily,
     Gauge,
+    GaugeFamily,
     Histogram,
     MetricsRegistry,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "Counter",
     "CounterFamily",
     "Gauge",
+    "GaugeFamily",
     "Histogram",
     "MetricsRegistry",
     "RequestPath",

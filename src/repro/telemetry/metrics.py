@@ -55,12 +55,17 @@ class Gauge:
 
 
 class CounterFamily:
-    """A set of counters keyed by one label (operation name, failure kind)."""
+    """A set of counters keyed by one label (operation name, failure kind).
 
-    __slots__ = ("name", "_children")
+    ``label`` names the label dimension in Prometheus exposition; the
+    default ``"key"`` preserves the historical output for unlabeled users.
+    """
 
-    def __init__(self, name):
+    __slots__ = ("name", "label", "_children")
+
+    def __init__(self, name, label="key"):
         self.name = name
+        self.label = label
         self._children = {}
 
     def inc(self, label, amount=1.0):
@@ -88,6 +93,42 @@ class CounterFamily:
 
     def __repr__(self):
         return f"<CounterFamily {self.name} labels={len(self._children)}>"
+
+
+class GaugeFamily:
+    """A set of gauges keyed by one label (shard name, node name).
+
+    The cluster observability plane exposes per-shard availability, load
+    scores, and probe latencies as one family with a ``shard=`` label
+    rather than minting one flat metric name per shard.
+    """
+
+    __slots__ = ("name", "label", "_children")
+
+    def __init__(self, name, label="key"):
+        self.name = name
+        self.label = label
+        self._children = {}
+
+    def set(self, label, value):
+        self._children[label] = value
+        return value
+
+    def inc(self, label, amount=1.0):
+        self._children[label] = self._children.get(label, 0.0) + amount
+        return self._children[label]
+
+    def get(self, label, default=None):
+        return self._children.get(label, default)
+
+    def as_dict(self):
+        return dict(self._children)
+
+    def __len__(self):
+        return len(self._children)
+
+    def __repr__(self):
+        return f"<GaugeFamily {self.name} labels={len(self._children)}>"
 
 
 class Histogram:
@@ -150,6 +191,36 @@ class Histogram:
             return
         index = math.ceil(math.log(value) / self._log_gamma)
         self._buckets[index] = self._buckets.get(index, 0) + n
+
+    def merge(self, other):
+        """Fold ``other``'s observations into this sketch, in place.
+
+        Two sketches with the same ``relative_accuracy`` share bucket
+        boundaries, so merging is exact: bucket counts add.  Merging an
+        empty histogram is the identity (no state changes, not even
+        min/max), and a merge of empties stays empty so ``quantile``
+        keeps its None-on-empty contract.  Returns ``self`` for chaining
+        cluster-level reductions over per-shard sketches.
+        """
+        if not isinstance(other, Histogram):
+            raise TypeError(f"cannot merge {type(other).__name__}")
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ValueError(
+                "cannot merge histograms with different relative accuracy: "
+                f"{self.relative_accuracy} vs {other.relative_accuracy}"
+            )
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self.sum += other.sum
+        if self.min is None or (other.min is not None and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None and other.max > self.max):
+            self.max = other.max
+        self._zero_count += other._zero_count
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        return self
 
     @property
     def mean(self):
@@ -224,9 +295,14 @@ class MetricsRegistry:
     def gauge(self, name):
         return self._get_or_create(name, lambda: Gauge(name), Gauge)
 
-    def family(self, name):
+    def family(self, name, label="key"):
         return self._get_or_create(
-            name, lambda: CounterFamily(name), CounterFamily
+            name, lambda: CounterFamily(name, label=label), CounterFamily
+        )
+
+    def gauge_family(self, name, label="key"):
+        return self._get_or_create(
+            name, lambda: GaugeFamily(name, label=label), GaugeFamily
         )
 
     def histogram(self, name, relative_accuracy=0.01):
@@ -254,7 +330,7 @@ class MetricsRegistry:
         for name, metric in sorted(self._metrics.items()):
             if isinstance(metric, (Counter, Gauge)):
                 out[name] = metric.value
-            elif isinstance(metric, CounterFamily):
+            elif isinstance(metric, (CounterFamily, GaugeFamily)):
                 out[name] = metric.as_dict()
             elif isinstance(metric, Histogram):
                 out[name] = {

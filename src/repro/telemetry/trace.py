@@ -58,6 +58,11 @@ STICKY_PREFIXES = (
     "slo.",
     "alert.",
     "heap.",
+    "capacity.",
+    "shard.",
+    "storm.",
+    "reshard.",
+    "cohort.migrate",
 )
 
 #: Whether newly constructed buses start enabled (see set_default_tracing).

@@ -146,3 +146,153 @@ def test_alerts_command_handles_a_quiet_timeline(tmp_path, capsys):
 def test_health_command_missing_file_is_a_clean_error(tmp_path, capsys):
     assert main(["health", str(tmp_path / "nope.jsonl")]) == 2
     assert "no such trace file" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Shard-aware surfaces: `repro shards`, `--shard` filters
+# ----------------------------------------------------------------------
+
+class ShardClock:
+    """Duck-typed kernel clock so published events carry timestamps."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+def make_shard_timeline(path):
+    """A two-shard storm timeline with rollups, windows, and a signal."""
+    clock = ShardClock()
+    bus = TraceBus(kernel=clock, enabled=True, label="run")
+    clock.now = 10.0
+    bus.publish("storm.begin", shards=["shard001", "shard002"], events=4,
+                horizon=60.0)
+    clock.now = 20.0
+    bus.publish("fault.injected", target="Item", fault="deadlock",
+                server="shard001-n1")
+    clock.now = 20.5
+    bus.publish("fault.injected", target="Item", fault="deadlock",
+                server="shard002-n1")
+    clock.now = 21.0
+    bus.publish("rm.report", url="/ebid/ViewItem", server="shard001-n1")
+    clock.now = 23.0
+    bus.publish("rm.action.end", level="ejb", target=("Item",), ok=True,
+                duration=1.0, server="shard001-n1")
+    clock.now = 24.0
+    bus.publish("rm.action.end", level="ejb", target=("Item",), ok=True,
+                duration=1.0, server="shard002-n1")
+    clock.now = 30.0
+    bus.publish("reshard.migrate", source="shard001", target="shard128",
+                sessions=100, window=2.0)
+    clock.now = 40.0
+    bus.publish("capacity.pressure", shard="shard001", score=2.3,
+                ewma=1.78, headroom=0.0)
+    clock.now = 120.0
+    for start, good, bad in ((0.0, 3000, 0), (30.0, 1500, 900),
+                             (60.0, 3000, 0), (90.0, 3000, 0)):
+        bus.publish("shard.window", shard="shard001", start=start,
+                    end=start + 30.0, good=good, bad=bad,
+                    violated=bad > 0)
+    bus.publish("shard.window", shard="shard002", start=0.0, end=30.0,
+                good=1500, bad=0, violated=False)
+    bus.publish("shard.rollup", shard="shard001", sessions=1000,
+                good=10500, bad=900, availability=0.921053,
+                gaw_per_second=87.5, probes=120, probe_failures=9,
+                probe_p50=0.002, probe_p99=0.011, failovers=1,
+                link_faults=0, brick_crashes=0, storm_events=2,
+                storm_kinds=["deadlock"], migrated_in=0, migrated_out=100,
+                capacity_score=1.78, peak_score=1.9, pressured=True,
+                headroom=0.0, slo_windows=4, slo_violations=1,
+                slo_min_availability=0.625)
+    bus.publish("shard.rollup", shard="shard002", sessions=500,
+                good=1500, bad=0, availability=1.0, gaw_per_second=50.0,
+                probes=120, probe_failures=0, probe_p50=0.002,
+                probe_p99=0.004, failovers=0, link_faults=0,
+                brick_crashes=0, storm_events=2, storm_kinds=["deadlock"],
+                migrated_in=0, migrated_out=0, capacity_score=1.0,
+                peak_score=1.0, pressured=False, headroom=0.375,
+                slo_windows=1, slo_violations=0,
+                slo_min_availability=1.0)
+    write_timeline(path, [bus])
+    return path
+
+
+def test_shards_command_renders_rollup_and_meta_waterfall(tmp_path, capsys):
+    path = make_shard_timeline(tmp_path / "timeline.jsonl")
+    assert main(["shards", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 shard(s), cluster availability" in out
+    assert "storm at t=10s struck 2 shard(s)" in out
+    assert "shard001" in out and "shard002" in out
+    assert "PRESSURE" in out and "storm" in out
+    assert "1 meta-incident(s)" in out
+    assert "shards: shard001, shard002" in out
+    assert "~> shard001 -> shard128: 100 session(s) @ t=30s" in out
+    assert "1 capacity signal(s)" in out
+    assert "PRESSURE" in out
+
+
+def test_shards_command_filters_and_exports(tmp_path, capsys):
+    path = make_shard_timeline(tmp_path / "timeline.jsonl")
+    json_out = tmp_path / "view.json"
+    prom_out = tmp_path / "metrics.prom"
+    assert main(["shards", str(path), "--shard", "shard002",
+                 "--json", str(json_out), "--prom", str(prom_out)]) == 0
+    out = capsys.readouterr().out
+    assert "1 shard(s)" in out
+    assert "shard002" in out
+    payload = json.loads(json_out.read_text(encoding="utf-8"))
+    assert [r["shard"] for r in payload["shards"]] == [
+        "shard001", "shard002"
+    ]  # JSON export keeps the full view
+    assert len(payload["meta_incidents"]) == 1
+    assert payload["meta_incidents"][0]["shards"] == [
+        "shard001", "shard002"
+    ]
+    prom = prom_out.read_text(encoding="utf-8")
+    assert 'repro_shard_availability{shard="shard001"} 0.921053' in prom
+    assert 'repro_shard_slo_violations{shard="shard001"} 1' in prom
+    assert 'repro_cluster_capacity_signals{signal="pressure"} 1' in prom
+
+
+def test_shards_command_missing_file_is_a_clean_error(tmp_path, capsys):
+    assert main(["shards", str(tmp_path / "nope.jsonl")]) == 2
+    assert "no such trace file" in capsys.readouterr().err
+
+
+def test_slo_shard_filter_replays_judged_windows(tmp_path, capsys):
+    path = make_shard_timeline(tmp_path / "timeline.jsonl")
+    assert main(["slo", str(path), "--shard", "shard001"]) == 0
+    out = capsys.readouterr().out
+    assert "4 window(s)" in out
+    assert "VIOLATED" in out  # the 30–60 s window lost 900 requests
+
+
+def test_slo_shard_filter_unknown_shard_is_a_clean_error(tmp_path, capsys):
+    path = make_shard_timeline(tmp_path / "timeline.jsonl")
+    assert main(["slo", str(path), "--shard", "shard999"]) == 2
+    err = capsys.readouterr().err
+    assert "no shard SLO windows for 'shard999'" in err
+    assert "shard001" in err  # the hint lists what the timeline has
+
+
+def test_incidents_shard_filter_and_column(tmp_path, capsys):
+    path = make_shard_timeline(tmp_path / "timeline.jsonl")
+    assert main(["incidents", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 incident(s)" in out
+    assert "shard" in out  # the attribution column appears
+    assert main(["incidents", str(path), "--shard", "shard002"]) == 0
+    out = capsys.readouterr().out
+    assert "1 incident(s)" in out
+    assert "shard002" in out and "shard001-n1" not in out
+
+
+def test_incidents_flat_timeline_keeps_its_shardless_rendering(
+        tmp_path, capsys):
+    path = make_timeline(tmp_path / "timeline.jsonl")
+    assert main(["incidents", str(path)]) == 0
+    header = [
+        line for line in capsys.readouterr().out.splitlines()
+        if line.startswith("id")
+    ][0]
+    assert "shard" not in header

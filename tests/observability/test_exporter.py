@@ -162,3 +162,66 @@ def test_incidents_from_timeline_ignores_untracked_kinds():
         {"t": 1.0, "seq": 1, "bus": "a", "kind": "span", "component": "X"},
     ]
     assert incidents_from_timeline(records) == []
+
+
+def test_render_prometheus_escapes_every_family_label_path():
+    """Regression: label values with backslashes, quotes, and newlines
+    must escape identically through counter AND gauge families — a raw
+    newline in a label value corrupts the whole exposition."""
+    from repro.telemetry.metrics import GaugeFamily  # noqa: F401
+
+    hostile = 'C:\\shard\n"one"'
+    registry = MetricsRegistry()
+    registry.family("by_key", label="shard").inc(hostile, 2)
+    registry.gauge_family("load", label="shard").set(hostile, 1.5)
+    text = render_prometheus(registry)
+    escaped = 'C:\\\\shard\\n\\"one\\"'
+    assert f'repro_by_key{{shard="{escaped}"}} 2' in text
+    assert f'repro_load{{shard="{escaped}"}} 1.5' in text
+    # The only literal newlines are the line separators themselves.
+    assert all(
+        line.startswith(("# TYPE", "repro_")) for line in text.splitlines()
+    )
+
+
+def test_render_prometheus_gauge_family_uses_label_name():
+    registry = MetricsRegistry()
+    registry.gauge_family("shard.availability", label="shard").set(
+        "shard001", 0.9995
+    )
+    text = render_prometheus(registry)
+    assert "# TYPE repro_shard_availability gauge" in text
+    assert 'repro_shard_availability{shard="shard001"} 0.9995' in text
+
+
+def test_registry_from_cluster_folds_rollup_rows():
+    from repro.observability.exporter import registry_from_cluster
+
+    rows = [
+        {"shard": "shard001", "availability": 1.0, "sessions": 1000,
+         "gaw_per_second": 100.0, "probe_p50": 0.002, "probe_p99": 0.009,
+         "capacity_score": 1.01, "headroom": 0.37, "pressured": False,
+         "probes": 120, "probe_failures": 0, "failovers": 0,
+         "storm_events": 0, "migrated_in": 0, "migrated_out": 0,
+         "slo": {"windows": 4, "violations": 0}},
+        {"shard": "shard002", "availability": 0.97, "sessions": 500,
+         "capacity_score": 1.9, "headroom": 0.0, "pressured": True,
+         "probes": 120, "probe_failures": 17, "failovers": 2,
+         "storm_events": 5, "migrated_in": 0, "migrated_out": 500,
+         "slo_violations": 1},  # replayed rows carry the flat key
+    ]
+    summary = {"availability": 0.998, "shards": 2, "probe_p99": 0.01,
+               "pressured_shards": ["shard002"], "slo_violations": 1}
+    signals = [{"t": 40.0, "shard": "shard002", "signal": "pressure"}]
+    text = render_prometheus(
+        registry_from_cluster(rows, summary=summary, signals=signals)
+    )
+    assert 'repro_shard_availability{shard="shard001"} 1' in text
+    assert 'repro_shard_availability{shard="shard002"} 0.97' in text
+    assert 'repro_shard_pressured{shard="shard002"} 1' in text
+    assert 'repro_shard_probe_failures{shard="shard002"} 17' in text
+    # Both the nested live shape and the flat replayed shape count.
+    assert 'repro_shard_slo_violations{shard="shard002"} 1' in text
+    assert "repro_cluster_availability 0.998" in text
+    assert "repro_cluster_pressured_shards 1" in text
+    assert 'repro_cluster_capacity_signals{signal="pressure"} 1' in text

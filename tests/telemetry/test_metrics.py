@@ -8,6 +8,7 @@ from repro.telemetry import (
     Counter,
     CounterFamily,
     Gauge,
+    GaugeFamily,
     Histogram,
     MetricsRegistry,
 )
@@ -181,3 +182,84 @@ def test_registry_snapshot_is_plain_data():
     assert snapshot["h"]["count"] == 1
     assert "p99" in snapshot["h"]
     assert registry.names() == ["c", "f", "g", "h"]
+
+
+# ----------------------------------------------------------------------
+# Gauge families
+# ----------------------------------------------------------------------
+
+def test_gauge_family_sets_and_increments_children():
+    family = GaugeFamily("shard.load", label="shard")
+    family.set("shard001", 1.5)
+    family.inc("shard001", 0.5)
+    family.inc("shard002")
+    assert family.get("shard001") == 2.0
+    assert family.get("shard002") == 1.0
+    assert family.get("missing") is None
+    assert family.as_dict() == {"shard001": 2.0, "shard002": 1.0}
+    assert len(family) == 2
+
+
+def test_registry_gauge_family_snapshot_and_type_guard():
+    registry = MetricsRegistry()
+    family = registry.gauge_family("g", label="shard")
+    assert registry.gauge_family("g") is family
+    family.set("a", 3.0)
+    assert registry.snapshot()["g"] == {"a": 3.0}
+    with pytest.raises(TypeError):
+        registry.family("g")
+
+
+# ----------------------------------------------------------------------
+# Histogram merge
+# ----------------------------------------------------------------------
+
+def test_histogram_merge_equals_single_sketch():
+    rng = random.Random(7)
+    values = [rng.expovariate(1.0) for _ in range(2000)]
+    whole = Histogram("whole")
+    left, right = Histogram("left"), Histogram("right")
+    for i, value in enumerate(values):
+        whole.observe(value)
+        (left if i % 2 else right).observe(value)
+    assert left.merge(right) is left  # chains
+    assert left.count == whole.count
+    assert left.sum == pytest.approx(whole.sum)
+    assert left.min == whole.min and left.max == whole.max
+    for q in (0.5, 0.9, 0.99):
+        assert left.quantile(q) == whole.quantile(q)
+
+
+def test_histogram_merge_empty_other_is_identity():
+    histogram = Histogram("h")
+    for value in (0.5, 1.0, 2.0):
+        histogram.observe(value)
+    before = (
+        histogram.count, histogram.sum, histogram.min, histogram.max,
+        histogram.quantile(0.5), histogram.quantile(0.99),
+    )
+    histogram.merge(Histogram("empty"))
+    after = (
+        histogram.count, histogram.sum, histogram.min, histogram.max,
+        histogram.quantile(0.5), histogram.quantile(0.99),
+    )
+    assert after == before
+
+
+def test_histogram_merge_of_empties_keeps_none_contract():
+    merged = Histogram("a")
+    merged.merge(Histogram("b"))
+    assert merged.count == 0
+    assert merged.quantile(0.5) is None
+    assert merged.min is None and merged.max is None
+    assert merged.percentiles()["p99"] is None
+
+
+def test_histogram_merge_rejects_mismatches():
+    coarse = Histogram("coarse", relative_accuracy=0.05)
+    fine = Histogram("fine", relative_accuracy=0.01)
+    fine.observe(1.0)
+    with pytest.raises(ValueError):
+        coarse.merge(fine)
+    with pytest.raises(TypeError):
+        coarse.merge("not a histogram")
